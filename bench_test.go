@@ -1,0 +1,447 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark per
+// table/figure), complexity-scaling benches validating Lemmas 1-3, and
+// ablation benches for the design choices called out in DESIGN.md §4.
+//
+// Benchmark scales are deliberately small so `go test -bench=.` completes in
+// minutes; cmd/experiments runs the full-scale versions. Quality metrics
+// (F1, pair-F1) are attached to benchmark output via b.ReportMetric, so a
+// single bench run reproduces both the performance and effectiveness shape.
+package repro_test
+
+import (
+	"fmt"
+
+	"testing"
+
+	"repro"
+	"repro/internal/baselines"
+	"repro/internal/datagen"
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/multiem"
+	"repro/internal/table"
+)
+
+// benchConfigs returns reduced-scale dataset configs for benchmarking.
+func benchConfigs() []experiments.DatasetConfig {
+	return []experiments.DatasetConfig{
+		{Name: "Geo", Scale: 0.3, Seed: 11, M: 0.5, Gamma: 0.9, Eps: 1.0, SampleRatio: 0.2},
+		{Name: "Music-20", Scale: 0.1, Seed: 13, M: 0.5, Gamma: 0.9, Eps: 1.0, SampleRatio: 0.2},
+		{Name: "Shopee", Scale: 0.05, Seed: 29, M: 0.2, Gamma: 0.9, Eps: 0.8, SampleRatio: 0.2},
+	}
+}
+
+func mustGen(b *testing.B, name string, scale float64, seed int64) *repro.Dataset {
+	b.Helper()
+	d, err := repro.GenerateDataset(name, scale, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// ---- Table III ------------------------------------------------------------
+
+func BenchmarkTable3_DatasetGen(b *testing.B) {
+	for _, name := range repro.DatasetNames() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := mustGen(b, name, 0.01, 1)
+				if d.NumEntities() == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// ---- Table IV: matching performance ---------------------------------------
+
+func BenchmarkTable4_MultiEM(b *testing.B) {
+	for _, cfg := range benchConfigs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+			opt := cfg.MultiEMOptions()
+			var f1, pf1 float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Match(d, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := repro.Evaluate(res.Tuples, d.Truth)
+				f1, pf1 = rep.Tuple.F1, rep.Pair.F1
+			}
+			b.ReportMetric(100*f1, "F1")
+			b.ReportMetric(100*pf1, "pair-F1")
+		})
+	}
+}
+
+func BenchmarkTable4_Baselines(b *testing.B) {
+	cfg := benchConfigs()[0] // Geo: the one dataset every baseline completes
+	d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+	ctx, err := baselines.NewContext(d, embed.NewHashEncoder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, f func() [][]int) {
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			tuples := f()
+			f1 = eval.Evaluate(tuples, d.Truth).Tuple.F1
+		}
+		b.ReportMetric(100*f1, "F1")
+	}
+	b.Run("Ditto-chain", func(b *testing.B) {
+		m := baselines.NewPLMMatcher(baselines.VariantDitto)
+		m.Train(ctx, baselines.MakeSplit(d, 0.05, 3, 1))
+		run(b, func() [][]int { return baselines.PairsToTuples(baselines.ChainMatch(ctx, m)) })
+	})
+	b.Run("PromptEM-pairwise", func(b *testing.B) {
+		m := baselines.NewPLMMatcher(baselines.VariantPromptEM)
+		m.Train(ctx, baselines.MakeSplit(d, 0.05, 3, 1))
+		run(b, func() [][]int { return baselines.PairsToTuples(baselines.PairwiseMatch(ctx, m)) })
+	})
+	b.Run("AutoFJ-pairwise", func(b *testing.B) {
+		fj := baselines.NewAutoFJ()
+		run(b, func() [][]int { return baselines.PairsToTuples(baselines.PairwiseMatch(ctx, fj)) })
+	})
+	b.Run("MSCD-HAC", func(b *testing.B) {
+		hac := baselines.NewMSCDHAC()
+		run(b, func() [][]int {
+			tuples, err := hac.Run(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return tuples
+		})
+	})
+	b.Run("ALMSER-GB", func(b *testing.B) {
+		run(b, func() [][]int {
+			al := baselines.NewALMSER(d.NumTruthPairs() / 20)
+			tuples, err := al.Run(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return tuples
+		})
+	})
+}
+
+// ---- Table V: running time (sequential vs parallel) ------------------------
+
+func BenchmarkTable5_Runtime(b *testing.B) {
+	for _, cfg := range benchConfigs() {
+		d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+		for _, parallel := range []bool{false, true} {
+			name := cfg.Name + "/sequential"
+			if parallel {
+				name = cfg.Name + "/parallel"
+			}
+			b.Run(name, func(b *testing.B) {
+				opt := cfg.MultiEMOptions()
+				opt.Parallel = parallel
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := repro.Match(d, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- Table VI: memory (allocation profile via -benchmem) -------------------
+
+func BenchmarkTable6_Memory(b *testing.B) {
+	cfg := benchConfigs()[1] // Music-20
+	d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+	b.Run("MultiEM", func(b *testing.B) {
+		b.ReportAllocs()
+		opt := cfg.MultiEMOptions()
+		for i := 0; i < b.N; i++ {
+			if _, err := repro.Match(d, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MSCD-HAC-infeasible", func(b *testing.B) {
+		// The paper's "\" cell: MSCD-HAC cannot complete Music-20 at
+		// full size; the guard must fire instead of consuming the box.
+		ctx, err := baselines.NewContext(d, embed.NewHashEncoder())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hac := baselines.NewMSCDHAC()
+		hac.MaxEntities = 100
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hac.Run(ctx); err == nil {
+				b.Fatal("guard must refuse")
+			}
+		}
+	})
+}
+
+// ---- Table VII: attribute selection ----------------------------------------
+
+func BenchmarkTable7_AttrSelect(b *testing.B) {
+	for _, cfg := range benchConfigs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+			opt := cfg.MultiEMOptions()
+			b.ResetTimer()
+			var nSel int
+			for i := 0; i < b.N; i++ {
+				_, sel := repro.SelectAttributes(d, opt)
+				nSel = len(sel)
+			}
+			b.ReportMetric(float64(nSel), "selected-attrs")
+		})
+	}
+}
+
+// ---- Figure 5: per-module running time --------------------------------------
+
+func BenchmarkFigure5_Phases(b *testing.B) {
+	cfg := benchConfigs()[1]
+	d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := cfg.MultiEMOptions()
+			opt.Parallel = parallel
+			var t multiem.PhaseTimings
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Match(d, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				t = res.Timings
+			}
+			b.ReportMetric(t.Select.Seconds()*1000, "S-ms")
+			b.ReportMetric(t.Represent.Seconds()*1000, "R-ms")
+			b.ReportMetric(t.Merge.Seconds()*1000, "M-ms")
+			b.ReportMetric(t.Prune.Seconds()*1000, "P-ms")
+		})
+	}
+}
+
+// ---- Figure 6: sensitivity sweeps -------------------------------------------
+
+func benchSweep(b *testing.B, set func(*repro.Options, float64), grid []float64) {
+	cfg := benchConfigs()[0]
+	d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+	for _, v := range grid {
+		b.Run(fmt.Sprintf("%g", v), func(b *testing.B) {
+			opt := cfg.MultiEMOptions()
+			set(&opt, v)
+			var f1 float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Match(d, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = repro.Evaluate(res.Tuples, d.Truth).Tuple.F1
+			}
+			b.ReportMetric(100*f1, "F1")
+		})
+	}
+}
+
+func BenchmarkFigure6a_Gamma(b *testing.B) {
+	benchSweep(b, func(o *repro.Options, v float64) { o.Gamma = float32(v) },
+		[]float64{0.80, 0.85, 0.90, 0.95})
+}
+
+func BenchmarkFigure6b_MergeOrderSeed(b *testing.B) {
+	benchSweep(b, func(o *repro.Options, v float64) { o.Seed = int64(v) },
+		[]float64{0, 1, 2, 3})
+}
+
+func BenchmarkFigure6c_M(b *testing.B) {
+	benchSweep(b, func(o *repro.Options, v float64) { o.M = float32(v) },
+		[]float64{0.05, 0.2, 0.35, 0.5})
+}
+
+func BenchmarkFigure6e_Eps(b *testing.B) {
+	benchSweep(b, func(o *repro.Options, v float64) { o.Eps = float32(v) },
+		[]float64{0.7, 0.8, 0.9, 1.0})
+}
+
+// ---- Lemmas 1-3: merging strategy complexity scaling -----------------------
+//
+// The paper proves pairwise matching is O(S²·2kn·log n) (Lemma 1), chain
+// matching O(S²kn·log n) (Lemma 2), and hierarchical merging
+// O(Skn·log S·log n) (Lemma 3). These benches grow S with n fixed so the
+// S-scaling (quadratic vs quadratic vs near-linear) is observable in
+// wall-clock time.
+
+func lemmaDataset(b *testing.B, sources int) (*repro.Dataset, *baselines.Context) {
+	b.Helper()
+	spec := datagen.Spec{
+		Name:    fmt.Sprintf("lemma-%d", sources),
+		Sources: sources,
+		Attrs:   []string{"title"},
+		Tuples:  60 * sources, Singletons: 40 * sources,
+		SizeWeights: map[int]float64{2: 0.6, 3: 0.4},
+		Severity:    0.4,
+		Domain:      datagen.DomainProduct,
+	}
+	d, err := datagen.Generate(spec, 1.0, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := baselines.NewContext(d, embed.NewHashEncoder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, ctx
+}
+
+func BenchmarkLemma_MergingStrategies(b *testing.B) {
+	for _, sources := range []int{4, 8, 16} {
+		d, ctx := lemmaDataset(b, sources)
+		fj := baselines.NewAutoFJ() // unsupervised pair matcher for pw/chain
+		b.Run(fmt.Sprintf("pairwise/S=%d", sources), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baselines.PairwiseMatch(ctx, fj)
+			}
+		})
+		b.Run(fmt.Sprintf("chain/S=%d", sources), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baselines.ChainMatch(ctx, fj)
+			}
+		})
+		b.Run(fmt.Sprintf("hierarchical/S=%d", sources), func(b *testing.B) {
+			opt := repro.DefaultOptions()
+			opt.M = 0.3
+			opt.DisableAttrSelect = true
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.Match(d, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablations (DESIGN.md §4) -----------------------------------------------
+
+func BenchmarkAblation_ANNBackend(b *testing.B) {
+	cfg := benchConfigs()[0]
+	d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+	for _, backend := range []multiem.ANNBackend{multiem.BackendHNSW, multiem.BackendBrute} {
+		name := "hnsw"
+		if backend == multiem.BackendBrute {
+			name = "brute"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := cfg.MultiEMOptions()
+			opt.Backend = backend
+			var f1 float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Match(d, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = repro.Evaluate(res.Tuples, d.Truth).Tuple.F1
+			}
+			b.ReportMetric(100*f1, "F1")
+		})
+	}
+}
+
+func BenchmarkAblation_EERAndDP(b *testing.B) {
+	cfg := benchConfigs()[1]
+	d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+	variants := map[string]func(*repro.Options){
+		"full":    func(*repro.Options) {},
+		"w/o-EER": func(o *repro.Options) { o.DisableAttrSelect = true },
+		"w/o-DP":  func(o *repro.Options) { o.DisablePruning = true },
+	}
+	for name, mutate := range variants {
+		b.Run(name, func(b *testing.B) {
+			opt := cfg.MultiEMOptions()
+			mutate(&opt)
+			var f1 float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Match(d, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = repro.Evaluate(res.Tuples, d.Truth).Tuple.F1
+			}
+			b.ReportMetric(100*f1, "F1")
+		})
+	}
+}
+
+func BenchmarkAblation_MutualVsOneDirectional(b *testing.B) {
+	// Mutual top-K (Eq. 1) vs accepting every one-directional top-K pair:
+	// implemented by comparing MultiEM's K=1 mutual filter against
+	// blocking-only pair acceptance at the same threshold.
+	cfg := benchConfigs()[0]
+	d := mustGen(b, cfg.Name, cfg.Scale, cfg.Seed)
+	ctx, err := baselines.NewContext(d, embed.NewHashEncoder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mutual", func(b *testing.B) {
+		opt := cfg.MultiEMOptions()
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			res, err := repro.Match(d, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f1 = repro.Evaluate(res.Tuples, d.Truth).Tuple.F1
+		}
+		b.ReportMetric(100*f1, "F1")
+	})
+	b.Run("one-directional", func(b *testing.B) {
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			var pairs []baselines.IDPair
+			ts := d.Tables
+			for x := 0; x < len(ts); x++ {
+				for y := x + 1; y < len(ts); y++ {
+					pairs = append(pairs, baselines.BlockTopK(ctx, ts[x], ts[y], 1)...)
+				}
+			}
+			tuples := baselines.PairsToTuples(pairs)
+			f1 = eval.Evaluate(tuples, d.Truth).Tuple.F1
+		}
+		b.ReportMetric(100*f1, "F1")
+	})
+}
+
+// ---- Substrate micro-benches -------------------------------------------------
+
+func BenchmarkSubstrate_Serialize(b *testing.B) {
+	e := &table.Entity{Values: []string{"apple iphone 8 plus", "64gb", "silver", "489.00"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = table.Serialize(e, nil)
+	}
+}
+
+func BenchmarkSubstrate_EvaluatePairF1(b *testing.B) {
+	d := mustGen(b, "Music-20", 0.2, 1)
+	pred := d.Truth[:len(d.Truth)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.PairMetrics(pred, d.Truth)
+	}
+}

@@ -1,0 +1,104 @@
+// Pricecompare reproduces the paper's motivating scenario (Figure 1): a
+// price-comparison service must recognize the same product across several
+// e-commerce platforms even though every platform titles it differently.
+//
+// Four "platforms" are built by hand — including the paper's own iPhone 8
+// Plus example — then MultiEM integrates them and the program prints each
+// product group with its cheapest offer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+
+	"repro"
+)
+
+type offer struct {
+	title string
+	color string
+	price float64
+}
+
+func main() {
+	// Per-platform catalogs. The same physical products appear with
+	// platform-specific titles, like the paper's Figure 1.
+	platforms := [][]offer{
+		{ // platform A
+			{"apple iphone 8 plus 64gb", "silver", 489.00},
+			{"samsung galaxy s10 128gb dual sim", "black", 419.99},
+			{"sony wh-1000xm4 wireless headphones", "black", 278.00},
+			{"nintendo switch oled console", "white", 329.00},
+		},
+		{ // platform B
+			{"apple iphone 8 plus 5.5 64gb 4g unlocked sim free", "", 475.50},
+			{"samsung galaxy s10 dual-sim 128 gb", "prism black", 429.00},
+			{"sony noise cancelling headphones wh1000xm4", "", 265.99},
+			{"dyson v11 cordless vacuum cleaner", "", 499.00},
+		},
+		{ // platform C
+			{"apple iphone 8 plus 14 cm 5.5 64 gb 12 mp ios 11", "silver", 468.00},
+			{"galaxy s10 samsung 128gb smartphone", "black", 410.00},
+			{"nintendo switch oled model white", "", 339.90},
+			{"dyson v11 stick vacuum", "nickel", 479.00},
+		},
+		{ // platform D
+			{"apple iphone 8 plus 5.5 single sim 4g 64gb", "silver", 459.99},
+			{"wh-1000xm4 sony bluetooth over-ear", "midnight black", 259.00},
+			{"nintendo switch oled", "white", 335.00},
+			{"kitchenaid artisan stand mixer 4.8l", "red", 549.00},
+		},
+	}
+
+	schema := repro.NewSchema("title", "color", "price")
+	d := &repro.Dataset{Name: "pricecompare"}
+	prices := map[int]float64{}
+	src := map[int]int{}
+	id := 0
+	for p, catalog := range platforms {
+		t := repro.NewTable(fmt.Sprintf("platform-%c", 'A'+p), schema)
+		for _, o := range catalog {
+			t.Append(&repro.Entity{
+				ID: id, Source: p,
+				Values: []string{o.title, o.color, strconv.FormatFloat(o.price, 'f', 2, 64)},
+			})
+			prices[id], src[id] = o.price, p
+			id++
+		}
+		d.Tables = append(d.Tables, t)
+	}
+
+	opt := repro.DefaultOptions()
+	opt.M = 0.6                  // titles differ substantially across platforms
+	opt.DisableAttrSelect = true // 16 rows is too small a sample for Alg. 1
+	opt.MinPts = 2
+
+	res, err := repro.Match(d, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byID := d.EntityByID()
+	fmt.Printf("integrated %d offers into %d product groups\n\n", d.NumEntities(), len(res.Tuples))
+	sort.Slice(res.Tuples, func(i, j int) bool { return res.Tuples[i][0] < res.Tuples[j][0] })
+	for _, tuple := range res.Tuples {
+		best := tuple[0]
+		for _, e := range tuple {
+			if prices[e] < prices[best] {
+				best = e
+			}
+		}
+		fmt.Printf("product group (best: %.2f on platform %c):\n", prices[best], 'A'+src[best])
+		for _, e := range tuple {
+			marker := " "
+			if e == best {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-55s %8.2f  platform %c\n",
+				marker, byID[e].Values[0], prices[e], 'A'+src[e])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,178 @@
+// Package ann layers a uniform approximate-nearest-neighbour interface over
+// the HNSW index and an exact brute-force baseline, and implements the
+// mutual top-K matched-pair search of the paper's Eq. 1:
+//
+//	Pm = {(e, e') | e ∈ topK(e') ∧ e' ∈ topK(e) ∧ dist(e, e') ≤ m}
+//
+// which is the core primitive of the two-table merging strategy (Alg. 3).
+package ann
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/hnsw"
+	"repro/internal/vector"
+)
+
+// Index is the read side of a vector index.
+type Index interface {
+	// Search returns the k nearest stored vectors to q sorted by
+	// increasing distance. ef tunes beam width where supported (<= 0
+	// picks the backend default).
+	Search(q []float32, k, ef int) []vector.Neighbor
+	// Len reports the number of stored vectors.
+	Len() int
+}
+
+// Builder constructs an index over a set of vectors with external ids.
+type Builder func(ids []int, vecs [][]float32) (Index, error)
+
+// HNSWBuilder returns a Builder that constructs HNSW indexes with cfg.
+func HNSWBuilder(dim int, cfg hnsw.Config) Builder {
+	return func(ids []int, vecs [][]float32) (Index, error) {
+		ix := hnsw.New(dim, cfg)
+		if err := ix.AddBatch(ids, vecs); err != nil {
+			return nil, err
+		}
+		return ix, nil
+	}
+}
+
+// BruteForce is an exact-search index; the reference backend used by tests
+// and the ANN-backend ablation.
+type BruteForce struct {
+	ids    []int
+	vecs   [][]float32
+	metric vector.Metric
+}
+
+// NewBruteForce builds an exact index over ids/vecs using the metric.
+func NewBruteForce(ids []int, vecs [][]float32, metric vector.Metric) *BruteForce {
+	return &BruteForce{ids: ids, vecs: vecs, metric: metric}
+}
+
+// BruteForceBuilder returns a Builder for exact search.
+func BruteForceBuilder(metric vector.Metric) Builder {
+	return func(ids []int, vecs [][]float32) (Index, error) {
+		return NewBruteForce(ids, vecs, metric), nil
+	}
+}
+
+// Search implements Index by scanning all vectors.
+func (b *BruteForce) Search(q []float32, k, _ int) []vector.Neighbor {
+	if k <= 0 || len(b.vecs) == 0 {
+		return nil
+	}
+	tk := vector.NewTopK(k)
+	for i, v := range b.vecs {
+		tk.Push(i, b.metric.Dist(q, v))
+	}
+	res := tk.Results()
+	for i := range res {
+		res[i].ID = b.ids[res[i].ID]
+	}
+	return res
+}
+
+// Len implements Index.
+func (b *BruteForce) Len() int { return len(b.vecs) }
+
+// Pair is a matched pair of external entity ids with their distance.
+// Invariant: A and B come from the two different input sides.
+type Pair struct {
+	A, B int
+	Dist float32
+}
+
+// MutualTopK finds all pairs (a, b) with a ∈ side A, b ∈ side B such that b
+// is among a's k nearest in B, a is among b's k nearest in A, and
+// dist(a, b) <= maxDist — the paper's Eq. 1.
+//
+// idsA/vecsA and idsB/vecsB are the two tables' entities; indexA and indexB
+// are indexes built over the respective sides. workers bounds query
+// parallelism: 1 forces sequential queries (MultiEM's non-parallel mode),
+// <= 0 uses all cores.
+func MutualTopK(idsA []int, vecsA [][]float32, indexB Index,
+	idsB []int, vecsB [][]float32, indexA Index,
+	k int, maxDist float32, ef, workers int) []Pair {
+
+	if k <= 0 || len(idsA) == 0 || len(idsB) == 0 {
+		return nil
+	}
+	// Direction A -> B.
+	fwd := topKAll(vecsA, indexB, k, ef, workers)
+	// Direction B -> A.
+	rev := topKAll(vecsB, indexA, k, ef, workers)
+
+	// Build the reverse lookup: for each external b id, the set of external
+	// a ids it selected.
+	idxB := make(map[int]int, len(idsB))
+	for i, id := range idsB {
+		idxB[id] = i
+	}
+	revSet := make([]map[int]bool, len(idsB))
+	for i, ns := range rev {
+		m := make(map[int]bool, len(ns))
+		for _, n := range ns {
+			m[n.ID] = true
+		}
+		revSet[i] = m
+	}
+
+	var pairs []Pair
+	for i, ns := range fwd {
+		a := idsA[i]
+		for _, n := range ns {
+			if n.Dist > maxDist {
+				continue
+			}
+			bi, ok := idxB[n.ID]
+			if !ok {
+				continue
+			}
+			if revSet[bi][a] {
+				pairs = append(pairs, Pair{A: a, B: n.ID, Dist: n.Dist})
+			}
+		}
+	}
+	return pairs
+}
+
+// topKAll runs index.Search for every query vector across workers
+// goroutines (<= 0 means all cores, 1 means sequential).
+func topKAll(queries [][]float32, index Index, k, ef, workers int) [][]vector.Neighbor {
+	out := make([][]vector.Neighbor, len(queries))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = index.Search(q, k, ef)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(queries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = index.Search(queries[i], k, ef)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

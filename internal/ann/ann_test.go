@@ -1,0 +1,228 @@
+package ann
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/hnsw"
+	"repro/internal/vector"
+)
+
+func unit(vs ...float32) []float32 { return vector.Normalize(vs) }
+
+func TestBruteForceExact(t *testing.T) {
+	ids := []int{10, 20, 30}
+	vecs := [][]float32{unit(1, 0), unit(0, 1), unit(-1, 0)}
+	bf := NewBruteForce(ids, vecs, vector.Cosine)
+	res := bf.Search(unit(0.9, 0.1), 2, 0)
+	if len(res) != 2 || res[0].ID != 10 {
+		t.Fatalf("got %v", res)
+	}
+	if bf.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestBruteForceEdgeCases(t *testing.T) {
+	bf := NewBruteForce(nil, nil, vector.Cosine)
+	if bf.Search([]float32{1}, 3, 0) != nil {
+		t.Fatal("empty index must return nil")
+	}
+	bf2 := NewBruteForce([]int{1}, [][]float32{{1, 0}}, vector.Cosine)
+	if bf2.Search([]float32{1, 0}, 0, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	ids := []int{1, 2}
+	vecs := [][]float32{unit(1, 0), unit(0, 1)}
+	for name, b := range map[string]Builder{
+		"hnsw":  HNSWBuilder(2, hnsw.Config{Seed: 3}),
+		"brute": BruteForceBuilder(vector.Cosine),
+	} {
+		ix, err := b(ids, vecs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ix.Len() != 2 {
+			t.Fatalf("%s: Len = %d", name, ix.Len())
+		}
+		res := ix.Search(unit(1, 0.05), 1, 0)
+		if len(res) != 1 || res[0].ID != 1 {
+			t.Fatalf("%s: got %v", name, res)
+		}
+	}
+}
+
+// Two clusters: a1~b1 close, a2~b2 close, across-cluster far. Mutual top-1
+// should recover exactly the within-cluster pairs.
+func TestMutualTopKBasic(t *testing.T) {
+	idsA := []int{100, 101}
+	vecsA := [][]float32{unit(1, 0, 0), unit(0, 0, 1)}
+	idsB := []int{200, 201}
+	vecsB := [][]float32{unit(0.99, 0.01, 0), unit(0.01, 0, 0.99)}
+
+	indexA := NewBruteForce(idsA, vecsA, vector.Cosine)
+	indexB := NewBruteForce(idsB, vecsB, vector.Cosine)
+
+	pairs := MutualTopK(idsA, vecsA, indexB, idsB, vecsB, indexA, 1, 0.5, 0, 0)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].A < pairs[j].A })
+	if pairs[0].A != 100 || pairs[0].B != 200 {
+		t.Fatalf("pair 0 = %v", pairs[0])
+	}
+	if pairs[1].A != 101 || pairs[1].B != 201 {
+		t.Fatalf("pair 1 = %v", pairs[1])
+	}
+}
+
+func TestMutualTopKDistanceThreshold(t *testing.T) {
+	idsA := []int{1}
+	vecsA := [][]float32{unit(1, 0)}
+	idsB := []int{2}
+	vecsB := [][]float32{unit(0, 1)} // cosine distance 1.0
+
+	indexA := NewBruteForce(idsA, vecsA, vector.Cosine)
+	indexB := NewBruteForce(idsB, vecsB, vector.Cosine)
+
+	if got := MutualTopK(idsA, vecsA, indexB, idsB, vecsB, indexA, 1, 0.5, 0, 0); got != nil {
+		t.Fatalf("threshold must reject distant pair, got %v", got)
+	}
+	if got := MutualTopK(idsA, vecsA, indexB, idsB, vecsB, indexA, 1, 1.5, 0, 0); len(got) != 1 {
+		t.Fatalf("loose threshold must accept, got %v", got)
+	}
+}
+
+// Mutuality: b may be a's top-1 while a is not b's top-1; such pairs must be
+// rejected.
+func TestMutualTopKRequiresMutuality(t *testing.T) {
+	// B has one point close to both A points; A has two points. With k=1:
+	// a0 -> b0, a1 -> b0, but b0 -> a0 only. So (a1, b0) is not mutual.
+	idsA := []int{0, 1}
+	vecsA := [][]float32{unit(1, 0), unit(0.95, 0.05)}
+	idsB := []int{5}
+	vecsB := [][]float32{unit(0.99, 0.005)}
+
+	indexA := NewBruteForce(idsA, vecsA, vector.Cosine)
+	indexB := NewBruteForce(idsB, vecsB, vector.Cosine)
+
+	pairs := MutualTopK(idsA, vecsA, indexB, idsB, vecsB, indexA, 1, 1.0, 0, 0)
+	if len(pairs) != 1 {
+		t.Fatalf("want exactly the mutual pair, got %v", pairs)
+	}
+	if pairs[0].A != 0 || pairs[0].B != 5 {
+		t.Fatalf("wrong mutual pair %v", pairs[0])
+	}
+}
+
+func TestMutualTopKEmptySides(t *testing.T) {
+	ids := []int{1}
+	vecs := [][]float32{unit(1, 0)}
+	ix := NewBruteForce(ids, vecs, vector.Cosine)
+	empty := NewBruteForce(nil, nil, vector.Cosine)
+	if got := MutualTopK(nil, nil, ix, ids, vecs, empty, 1, 1, 0, 0); got != nil {
+		t.Fatalf("empty side A must yield nil, got %v", got)
+	}
+	if got := MutualTopK(ids, vecs, empty, nil, nil, ix, 1, 1, 0, 0); got != nil {
+		t.Fatalf("empty side B must yield nil, got %v", got)
+	}
+	if got := MutualTopK(ids, vecs, ix, ids, vecs, ix, 0, 1, 0, 0); got != nil {
+		t.Fatalf("k=0 must yield nil, got %v", got)
+	}
+}
+
+// HNSW-backed mutual top-K must agree with brute-force mutual top-K on
+// moderately sized random data.
+func TestMutualTopKHNSWAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, dim = 400, 16
+	makeSide := func(offset int) ([]int, [][]float32) {
+		ids := make([]int, n)
+		vecs := make([][]float32, n)
+		for i := range ids {
+			ids[i] = offset + i
+			v := make([]float32, dim)
+			for j := range v {
+				v[j] = float32(rng.NormFloat64())
+			}
+			vecs[i] = vector.Normalize(v)
+		}
+		return ids, vecs
+	}
+	idsA, vecsA := makeSide(0)
+	idsB, vecsB := makeSide(10000)
+	// Plant 50 near-duplicate pairs.
+	for i := 0; i < 50; i++ {
+		copyVec := append([]float32(nil), vecsA[i]...)
+		copyVec[0] += 0.01
+		vecsB[i] = vector.Normalize(copyVec)
+	}
+
+	bfA := NewBruteForce(idsA, vecsA, vector.Cosine)
+	bfB := NewBruteForce(idsB, vecsB, vector.Cosine)
+	want := MutualTopK(idsA, vecsA, bfB, idsB, vecsB, bfA, 1, 0.05, 0, 0)
+
+	hnswBuild := HNSWBuilder(dim, hnsw.Config{EfSearch: 128, Seed: 5})
+	hA, err := hnswBuild(idsA, vecsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := hnswBuild(idsB, vecsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MutualTopK(idsA, vecsA, hB, idsB, vecsB, hA, 1, 0.05, 0, 0)
+
+	key := func(p Pair) [2]int { return [2]int{p.A, p.B} }
+	wantSet := map[[2]int]bool{}
+	for _, p := range want {
+		wantSet[key(p)] = true
+	}
+	hits := 0
+	for _, p := range got {
+		if wantSet[key(p)] {
+			hits++
+		}
+	}
+	if len(want) < 40 {
+		t.Fatalf("sanity: expected ~50 planted pairs, brute force found %d", len(want))
+	}
+	if float64(hits) < 0.95*float64(len(want)) {
+		t.Fatalf("HNSW recovered %d/%d mutual pairs", hits, len(want))
+	}
+}
+
+func TestPairInvariants(t *testing.T) {
+	// Pairs returned must always satisfy the distance threshold and come
+	// from the correct sides.
+	rng := rand.New(rand.NewSource(77))
+	const n = 100
+	idsA, vecsA := make([]int, n), make([][]float32, n)
+	idsB, vecsB := make([]int, n), make([][]float32, n)
+	for i := 0; i < n; i++ {
+		idsA[i], idsB[i] = i, 1000+i
+		a := make([]float32, 8)
+		b := make([]float32, 8)
+		for j := range a {
+			a[j] = float32(rng.NormFloat64())
+			b[j] = float32(rng.NormFloat64())
+		}
+		vecsA[i], vecsB[i] = vector.Normalize(a), vector.Normalize(b)
+	}
+	ixA := NewBruteForce(idsA, vecsA, vector.Cosine)
+	ixB := NewBruteForce(idsB, vecsB, vector.Cosine)
+	const maxDist = 0.9
+	pairs := MutualTopK(idsA, vecsA, ixB, idsB, vecsB, ixA, 3, maxDist, 0, 0)
+	for _, p := range pairs {
+		if p.Dist > maxDist {
+			t.Fatalf("pair %v violates threshold", p)
+		}
+		if p.A < 0 || p.A >= n || p.B < 1000 {
+			t.Fatalf("pair %v has ids from wrong sides", p)
+		}
+	}
+}

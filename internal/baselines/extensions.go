@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/table"
+)
+
+// TwoTableMatcher is a matcher for one pair of tables: it returns matched
+// entity-ID pairs between tables a and b. Implementations may be stateful
+// (trained) but must be safe to call repeatedly.
+type TwoTableMatcher interface {
+	Name() string
+	MatchPair(ctx *Context, a, b *table.Table) []IDPair
+}
+
+// PairwiseMatch extends a two-table matcher to S tables by matching every
+// one of the C(S,2) table pairs (Figure 2a). Complexity grows quadratically
+// with S — Lemma 1.
+func PairwiseMatch(ctx *Context, m TwoTableMatcher) []IDPair {
+	var out []IDPair
+	ts := ctx.Dataset.Tables
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			out = append(out, m.MatchPair(ctx, ts[i], ts[j])...)
+		}
+	}
+	return dedupePairs(out)
+}
+
+// ChainMatch extends a two-table matcher by matching tables one by one
+// against a growing base table (Figure 2c): unmatched entities of each new
+// table are appended to the base, so the base table size increases along
+// the chain — Lemma 2's source of inefficiency.
+func ChainMatch(ctx *Context, m TwoTableMatcher) []IDPair {
+	ts := ctx.Dataset.Tables
+	if len(ts) == 0 {
+		return nil
+	}
+	base := table.New("chain-base", ts[0].Schema)
+	base.Entities = append(base.Entities, ts[0].Entities...)
+	var out []IDPair
+	for i := 1; i < len(ts); i++ {
+		pairs := m.MatchPair(ctx, base, ts[i])
+		out = append(out, pairs...)
+		matched := make(map[int]bool, len(pairs))
+		for _, p := range pairs {
+			matched[p.Lo] = true
+			matched[p.Hi] = true
+		}
+		// Append all entities of the new table to the base (matched ones
+		// too: they may match further sources), mirroring how chain
+		// extensions accumulate a growing base table.
+		for _, e := range ts[i].Entities {
+			if !matched[e.ID] {
+				base.Entities = append(base.Entities, e)
+			}
+		}
+	}
+	return dedupePairs(out)
+}
+
+// PairsToTuples implements Algorithm 5: for every entity e, gather all
+// entities matched with e in the pair set and emit the tuple {e} ∪ matches.
+// Tuples of size < 2 are dropped and duplicates collapse. The output
+// deliberately does NOT close the pairs transitively — exposing two-table
+// matchers to the transitive conflicts the paper describes (Challenge II).
+func PairsToTuples(pairs []IDPair) [][]int {
+	adj := make(map[int][]int)
+	for _, p := range pairs {
+		adj[p.Lo] = append(adj[p.Lo], p.Hi)
+		adj[p.Hi] = append(adj[p.Hi], p.Lo)
+	}
+	seen := make(map[string]bool)
+	var tuples [][]int
+	for e, matches := range adj {
+		tuple := append([]int{e}, matches...)
+		tuple = uniqueInts(tuple)
+		if len(tuple) < 2 {
+			continue
+		}
+		k := table.TupleKey(tuple)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		tuples = append(tuples, tuple)
+	}
+	sort.Slice(tuples, func(i, j int) bool { return lessTuple(tuples[i], tuples[j]) })
+	return tuples
+}
+
+func dedupePairs(pairs []IDPair) []IDPair {
+	seen := make(map[IDPair]bool, len(pairs))
+	out := pairs[:0]
+	for _, p := range pairs {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lessTuple orders sorted int slices lexicographically.
+func lessTuple(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func uniqueInts(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

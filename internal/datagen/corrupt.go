@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Corruptor applies realistic dirty-data perturbations to attribute values.
+// Severity in [0, 1] scales how many operations are applied; per-source
+// style offsets make different sources corrupt in systematically different
+// ways, as real aggregator feeds do.
+type Corruptor struct {
+	// Severity is the base probability of each corruption op firing.
+	Severity float64
+}
+
+// CorruptText perturbs a multi-token text value (titles, names).
+func (c Corruptor) CorruptText(rng *rand.Rand, s string, source int) string {
+	if s == "" {
+		return s
+	}
+	tokens := strings.Fields(s)
+	sev := c.Severity * (0.75 + 0.5*float64(source%3)/2) // per-source style
+
+	// Token-level ops.
+	if len(tokens) > 2 && rng.Float64() < sev*0.5 {
+		// Drop one non-leading token.
+		i := 1 + rng.Intn(len(tokens)-1)
+		tokens = append(tokens[:i], tokens[i+1:]...)
+	}
+	if len(tokens) > 1 && rng.Float64() < sev*0.4 {
+		// Swap two adjacent tokens.
+		i := rng.Intn(len(tokens) - 1)
+		tokens[i], tokens[i+1] = tokens[i+1], tokens[i]
+	}
+	if rng.Float64() < sev*0.35 {
+		// Append a source-flavoured extra token.
+		extras := []string{"new", "official", "original", "the", "edition", "hot", "sale"}
+		tokens = append(tokens, extras[rng.Intn(len(extras))])
+	}
+	if len(tokens) > 0 && rng.Float64() < sev*0.3 {
+		// Abbreviate one token to its first letters.
+		i := rng.Intn(len(tokens))
+		if len(tokens[i]) > 3 {
+			tokens[i] = tokens[i][:1+rng.Intn(3)]
+		}
+	}
+
+	// Character-level typos on a few tokens.
+	for i := range tokens {
+		if rng.Float64() < sev*0.35 {
+			tokens[i] = c.typo(rng, tokens[i])
+		}
+	}
+	out := strings.Join(tokens, " ")
+	if rng.Float64() < sev*0.3 {
+		out = strings.ToUpper(out[:1]) + out[1:]
+	}
+	return out
+}
+
+// typo applies one random character edit: deletion, duplication, adjacent
+// transposition, or substitution with a nearby letter.
+func (c Corruptor) typo(rng *rand.Rand, tok string) string {
+	if len(tok) < 2 {
+		return tok
+	}
+	b := []byte(tok)
+	i := rng.Intn(len(b) - 1)
+	switch rng.Intn(4) {
+	case 0: // delete
+		return string(append(b[:i], b[i+1:]...))
+	case 1: // duplicate
+		out := make([]byte, 0, len(b)+1)
+		out = append(out, b[:i+1]...)
+		out = append(out, b[i])
+		out = append(out, b[i+1:]...)
+		return string(out)
+	case 2: // transpose
+		b[i], b[i+1] = b[i+1], b[i]
+		return string(b)
+	default: // substitute
+		b[i] = byte('a' + rng.Intn(26))
+		return string(b)
+	}
+}
+
+// CorruptNumber reformats a numeric string in source-dependent ways
+// (precision changes, unit suffixes) without destroying the value entirely.
+func (c Corruptor) CorruptNumber(rng *rand.Rand, s string, source int) string {
+	if s == "" || rng.Float64() > c.Severity {
+		return s
+	}
+	switch (source + rng.Intn(2)) % 3 {
+	case 0:
+		return s + ".0"
+	case 1:
+		return strings.TrimSuffix(s, "0")
+	default:
+		return s
+	}
+}
+
+// RandomID produces an identifier-style surrogate key: a letter prefix and a
+// long digit run, e.g. "wom14513028". Fresh per record, so it carries zero
+// matching signal — the attribute Algorithm 1 must learn to drop.
+func RandomID(rng *rand.Rand, prefix string) string {
+	var b strings.Builder
+	b.WriteString(prefix)
+	for i := 0; i < 8; i++ {
+		b.WriteByte(byte('0' + rng.Intn(10)))
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package embed
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/vector"
+)
+
+// DefaultDim is the default embedding dimensionality. The paper's
+// all-MiniLM-L12-v2 produces 384-dim vectors; 256 keeps the same order of
+// magnitude while staying cache-friendly.
+const DefaultDim = 256
+
+// Encoder converts text sequences to fixed-length dense embeddings. It is
+// the stand-in for the Sentence-BERT model M in the paper's pipeline.
+type Encoder interface {
+	// Dim returns the embedding dimensionality.
+	Dim() int
+	// Encode returns the unit-norm embedding of one text sequence. The
+	// zero vector is returned for empty/meaningless text.
+	Encode(text string) []float32
+	// EncodeBatch embeds many texts, using all cores.
+	EncodeBatch(texts []string) [][]float32
+}
+
+// HashEncoder is the deterministic hashed character-n-gram encoder described
+// in the package comment. It is stateless after construction, safe for
+// concurrent use, and needs no training data or model files.
+type HashEncoder struct {
+	dim      int
+	grams    []int // n-gram sizes, e.g. {3, 4}
+	seqLen   int
+	tokenLex bool // apply lexicality weighting (disabled only in tests)
+}
+
+// Option configures a HashEncoder.
+type Option func(*HashEncoder)
+
+// WithDim sets the embedding dimensionality (default DefaultDim).
+func WithDim(d int) Option {
+	return func(e *HashEncoder) { e.dim = d }
+}
+
+// WithGrams sets the character n-gram sizes (default 3 and 4).
+func WithGrams(sizes ...int) Option {
+	return func(e *HashEncoder) { e.grams = append([]int(nil), sizes...) }
+}
+
+// WithSeqLen sets the maximum number of tokens pooled (default MaxSeqLen).
+func WithSeqLen(n int) Option {
+	return func(e *HashEncoder) { e.seqLen = n }
+}
+
+// WithoutLexicality disables identifier damping; every token gets weight 1.
+// Exposed for ablation benchmarks of the representation substrate.
+func WithoutLexicality() Option {
+	return func(e *HashEncoder) { e.tokenLex = false }
+}
+
+// NewHashEncoder builds an encoder with the given options.
+func NewHashEncoder(opts ...Option) *HashEncoder {
+	e := &HashEncoder{dim: DefaultDim, grams: []int{3, 4}, seqLen: MaxSeqLen, tokenLex: true}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.dim <= 0 {
+		panic("embed: dimension must be positive")
+	}
+	if len(e.grams) == 0 {
+		panic("embed: at least one n-gram size required")
+	}
+	return e
+}
+
+// Dim implements Encoder.
+func (e *HashEncoder) Dim() int { return e.dim }
+
+// Encode implements Encoder.
+func (e *HashEncoder) Encode(text string) []float32 {
+	out := make([]float32, e.dim)
+	tokens := Tokenize(text)
+	if len(tokens) > e.seqLen {
+		tokens = tokens[:e.seqLen]
+	}
+	if len(tokens) == 0 {
+		return out
+	}
+	tokVec := make([]float32, e.dim)
+	var total float32
+	for _, tok := range tokens {
+		for i := range tokVec {
+			tokVec[i] = 0
+		}
+		e.embedToken(tok, tokVec)
+		vector.Normalize(tokVec)
+		w := float32(1)
+		if e.tokenLex {
+			w = Lexicality(tok)
+		}
+		for i := range out {
+			out[i] += w * tokVec[i]
+		}
+		total += w
+	}
+	if total > 0 {
+		vector.Scale(out, 1/total)
+	}
+	return vector.Normalize(out)
+}
+
+// embedToken accumulates the signed hashed n-gram features of one token
+// into dst. Tokens are wrapped in boundary markers so prefixes/suffixes are
+// distinguishable ("#tim#" vs "tim" inside a longer word).
+func (e *HashEncoder) embedToken(tok string, dst []float32) {
+	marked := "#" + tok + "#"
+	bytes := []byte(marked)
+	for _, n := range e.grams {
+		if len(bytes) < n {
+			e.addGram(bytes, dst)
+			continue
+		}
+		for i := 0; i+n <= len(bytes); i++ {
+			e.addGram(bytes[i:i+n], dst)
+		}
+	}
+}
+
+// addGram feature-hashes one n-gram: a 64-bit FNV hash provides the target
+// index (low bits) and the sign (a high bit), the standard signed
+// feature-hashing trick that keeps hashed inner products unbiased.
+func (e *HashEncoder) addGram(gram []byte, dst []float32) {
+	h := fnv.New64a()
+	h.Write(gram)
+	v := h.Sum64()
+	idx := int(v % uint64(e.dim))
+	if v&(1<<63) != 0 {
+		dst[idx]--
+	} else {
+		dst[idx]++
+	}
+}
+
+// EncodeBatch implements Encoder using a fixed worker pool.
+func (e *HashEncoder) EncodeBatch(texts []string) [][]float32 {
+	out := make([][]float32, len(texts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(texts) {
+		workers = len(texts)
+	}
+	if workers <= 1 {
+		for i, t := range texts {
+			out[i] = e.Encode(t)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(texts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(texts) {
+			hi = len(texts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.Encode(texts[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+var _ Encoder = (*HashEncoder)(nil)

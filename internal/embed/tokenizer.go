@@ -1,0 +1,100 @@
+// Package embed provides the entity-embedding substrate that stands in for
+// the pre-trained Sentence-BERT model (all-MiniLM-L12-v2) used by the paper.
+//
+// The paper treats the encoder as a black box M: text -> R^d whose only
+// required property is that textually/semantically similar serializations
+// land close in cosine space, and that non-linguistic tokens (random
+// identifiers) contribute little to the representation (Example 1). This
+// package realizes both properties deterministically and offline:
+//
+//   - each token is embedded by signed feature-hashing of its boundary-marked
+//     character 3- and 4-grams into a dense d-dimensional vector, so edit
+//     perturbations (typos, abbreviations, casing) move embeddings smoothly;
+//   - tokens are weighted by a "lexicality" score: natural-language-looking
+//     tokens get full weight while digit-heavy identifier-like tokens are
+//     damped, mirroring a language model's insensitivity to random IDs;
+//   - entity vectors are the weighted mean pool over the first MaxSeqLen
+//     token vectors, L2-normalized, exactly as the paper mean-pools
+//     Sentence-BERT token embeddings.
+package embed
+
+import (
+	"strings"
+	"unicode"
+)
+
+// MaxSeqLen mirrors the paper's maximum sequence length of 64 tokens
+// (§IV-A); tokens beyond it are ignored by the encoder.
+const MaxSeqLen = 64
+
+// Tokenize lowercases the text and splits it into alphanumeric runs.
+// Punctuation separates tokens but is otherwise dropped, so
+// "Tim O'Brien" -> ["tim", "o", "brien"].
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Lexicality scores how much a token looks like natural language, in (0, 1].
+// Alphabetic vowel-containing tokens score 1.0; pure numbers and mixed
+// alphanumeric identifier-like tokens are strongly damped. This is the
+// mechanism by which the encoder reproduces Sentence-BERT's behaviour in the
+// paper's Example 1: perturbing an `id` value moves the embedding far less
+// than perturbing a `title` value.
+func Lexicality(token string) float32 {
+	if token == "" {
+		return 0.01
+	}
+	letters, digits, vowels := 0, 0, 0
+	for _, r := range token {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case unicode.IsLetter(r):
+			letters++
+			switch r {
+			case 'a', 'e', 'i', 'o', 'u', 'y':
+				vowels++
+			}
+		}
+	}
+	total := letters + digits
+	if total == 0 {
+		return 0.01
+	}
+	switch {
+	case digits == 0 && vowels > 0:
+		// Ordinary word.
+		return 1.0
+	case digits == 0:
+		// Vowel-less letter run: acronym or consonant cluster ("gb", "xpe").
+		return 0.6
+	case letters == 0:
+		// Pure number: carries a little meaning (years, sizes).
+		return 0.25
+	default:
+		// Mixed alphanumeric: identifier-shaped ("wom14513028", "q5").
+		// Short tokens like "8gb" are still informative; long mixed runs
+		// are almost surely surrogate keys.
+		if total <= 4 {
+			return 0.5
+		}
+		return 0.1
+	}
+}

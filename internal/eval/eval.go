@@ -1,0 +1,112 @@
+// Package eval scores multi-table entity matching predictions against
+// ground truth using the paper's two metrics (§IV-A):
+//
+//   - tuple-level precision/recall/F1, where a predicted tuple counts only
+//     when it matches a truth tuple exactly (as a set);
+//   - pair-F1, where tuples are decomposed into their C(l,2) entity pairs
+//     and precision/recall are computed over pairs (Example 2).
+package eval
+
+import (
+	"repro/internal/table"
+)
+
+// Metrics bundles precision, recall and F1 (all in [0, 1]).
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TP, Pred, Truth are the raw counts behind the ratios.
+	TP    int
+	Pred  int
+	Truth int
+}
+
+func metricsFrom(tp, pred, truth int) Metrics {
+	m := Metrics{TP: tp, Pred: pred, Truth: truth}
+	if pred > 0 {
+		m.Precision = float64(tp) / float64(pred)
+	}
+	if truth > 0 {
+		m.Recall = float64(tp) / float64(truth)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// TupleMetrics scores predictions with the strict tuple criterion: a
+// prediction is a true positive only when some truth tuple contains exactly
+// the same entity set.
+func TupleMetrics(pred, truth [][]int) Metrics {
+	truthKeys := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthKeys[table.TupleKey(t)] = true
+	}
+	tp := 0
+	seen := make(map[string]bool, len(pred))
+	for _, p := range pred {
+		k := table.TupleKey(p)
+		if seen[k] {
+			continue // duplicate predictions count once
+		}
+		seen[k] = true
+		if truthKeys[k] {
+			tp++
+		}
+	}
+	return metricsFrom(tp, len(seen), len(truth))
+}
+
+// pairKey packs an unordered entity pair.
+type pairKey struct{ lo, hi int }
+
+func mkPair(a, b int) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// PairSet expands tuples into their unordered entity pairs.
+func PairSet(tuples [][]int) map[pairKey]bool {
+	set := make(map[pairKey]bool)
+	for _, t := range tuples {
+		for i := 0; i < len(t); i++ {
+			for j := i + 1; j < len(t); j++ {
+				set[mkPair(t[i], t[j])] = true
+			}
+		}
+	}
+	return set
+}
+
+// PairMetrics scores predictions at pair granularity (pair-F1): both
+// prediction and truth tuples are parsed into pairs and standard P/R/F1 is
+// computed over the pair sets (the paper's Example 2).
+func PairMetrics(pred, truth [][]int) Metrics {
+	predPairs := PairSet(pred)
+	truthPairs := PairSet(truth)
+	tp := 0
+	for p := range predPairs {
+		if truthPairs[p] {
+			tp++
+		}
+	}
+	return metricsFrom(tp, len(predPairs), len(truthPairs))
+}
+
+// Report bundles both metric families for one method on one dataset.
+type Report struct {
+	Tuple Metrics
+	Pair  Metrics
+}
+
+// Evaluate computes the full report.
+func Evaluate(pred, truth [][]int) Report {
+	return Report{
+		Tuple: TupleMetrics(pred, truth),
+		Pair:  PairMetrics(pred, truth),
+	}
+}

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func feq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTupleMetricsExactMatch(t *testing.T) {
+	pred := [][]int{{1, 2, 3}, {4, 5}}
+	truth := [][]int{{3, 2, 1}, {6, 7}}
+	m := TupleMetrics(pred, truth)
+	if m.TP != 1 || m.Pred != 2 || m.Truth != 2 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if !feq(m.Precision, 0.5) || !feq(m.Recall, 0.5) || !feq(m.F1, 0.5) {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestTupleMetricsOrderInsensitive(t *testing.T) {
+	m := TupleMetrics([][]int{{2, 1}}, [][]int{{1, 2}})
+	if m.F1 != 1 {
+		t.Fatalf("order must not matter: %+v", m)
+	}
+}
+
+func TestTupleMetricsPartialOverlapIsWrong(t *testing.T) {
+	// (1,2,4) vs truth (1,2,3): strict criterion counts it wrong.
+	m := TupleMetrics([][]int{{1, 2, 4}}, [][]int{{1, 2, 3}})
+	if m.TP != 0 || m.F1 != 0 {
+		t.Fatalf("partial tuple must not count: %+v", m)
+	}
+}
+
+func TestTupleMetricsDuplicatePredictions(t *testing.T) {
+	m := TupleMetrics([][]int{{1, 2}, {2, 1}}, [][]int{{1, 2}})
+	if m.Pred != 1 || m.TP != 1 || m.F1 != 1 {
+		t.Fatalf("duplicates must collapse: %+v", m)
+	}
+}
+
+func TestTupleMetricsEmpty(t *testing.T) {
+	m := TupleMetrics(nil, nil)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("empty must be zero: %+v", m)
+	}
+	m = TupleMetrics(nil, [][]int{{1, 2}})
+	if m.Recall != 0 {
+		t.Fatalf("no predictions means zero recall: %+v", m)
+	}
+	m = TupleMetrics([][]int{{1, 2}}, nil)
+	if m.Precision != 0 {
+		t.Fatalf("no truth means zero precision: %+v", m)
+	}
+}
+
+// Reproduces the paper's Example 2 exactly: truth (1,2,3), prediction
+// (1,2,4) -> pair precision = recall = 1/3, pair-F1 = 1/3.
+func TestPairMetricsExample2(t *testing.T) {
+	m := PairMetrics([][]int{{1, 2, 4}}, [][]int{{1, 2, 3}})
+	third := 1.0 / 3.0
+	if !feq(m.Precision, third) || !feq(m.Recall, third) || !feq(m.F1, third) {
+		t.Fatalf("Example 2 gives 1/3 everywhere, got %+v", m)
+	}
+}
+
+func TestPairMetricsPerfect(t *testing.T) {
+	m := PairMetrics([][]int{{1, 2, 3}}, [][]int{{3, 1, 2}})
+	if !feq(m.F1, 1) {
+		t.Fatalf("identical tuples give pair-F1 1, got %+v", m)
+	}
+}
+
+func TestPairSetSize(t *testing.T) {
+	ps := PairSet([][]int{{1, 2, 3, 4}})
+	if len(ps) != 6 {
+		t.Fatalf("C(4,2)=6 pairs, got %d", len(ps))
+	}
+	if !ps[mkPair(4, 1)] {
+		t.Fatal("pair (1,4) missing")
+	}
+}
+
+func TestPairSetOverlappingTuples(t *testing.T) {
+	ps := PairSet([][]int{{1, 2}, {2, 1}, {2, 3}})
+	if len(ps) != 2 {
+		t.Fatalf("duplicate pairs must collapse: %d", len(ps))
+	}
+}
+
+func TestPairLooserThanTuple(t *testing.T) {
+	// Pair-F1 must always be >= tuple F1 cannot be asserted in general,
+	// but for predictions that get most pairs right while missing exact
+	// tuples, pair-F1 must exceed tuple-F1 (the paper's motivation for
+	// reporting both).
+	pred := [][]int{{1, 2, 3}}
+	truth := [][]int{{1, 2, 3, 4}}
+	r := Evaluate(pred, truth)
+	if r.Pair.F1 <= r.Tuple.F1 {
+		t.Fatalf("pair-F1 %v should exceed tuple-F1 %v here", r.Pair.F1, r.Tuple.F1)
+	}
+}
+
+func TestEvaluateBundles(t *testing.T) {
+	r := Evaluate([][]int{{1, 2}}, [][]int{{1, 2}})
+	if r.Tuple.F1 != 1 || r.Pair.F1 != 1 {
+		t.Fatalf("perfect prediction must be 1/1: %+v", r)
+	}
+}
+
+func TestMetricsAsymmetricCounts(t *testing.T) {
+	// 3 predictions, 2 truth tuples, 1 hit -> P=1/3, R=1/2.
+	pred := [][]int{{1, 2}, {3, 4}, {5, 6}}
+	truth := [][]int{{1, 2}, {7, 8}}
+	m := TupleMetrics(pred, truth)
+	if !feq(m.Precision, 1.0/3) || !feq(m.Recall, 0.5) {
+		t.Fatalf("got %+v", m)
+	}
+	wantF1 := 2 * (1.0 / 3) * 0.5 / (1.0/3 + 0.5)
+	if !feq(m.F1, wantF1) {
+		t.Fatalf("F1 = %v, want %v", m.F1, wantF1)
+	}
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genTuples converts quick-generated raw data into a valid tuple list.
+func genTuples(raw [][3]uint8) [][]int {
+	var out [][]int
+	for _, r := range raw {
+		a, b, c := int(r[0]), int(r[1]), int(r[2])
+		if a == b || b == c || a == c {
+			continue
+		}
+		out = append(out, []int{a, b, c})
+	}
+	return out
+}
+
+// Property: metrics are always in [0, 1] and F1 is the harmonic mean.
+func TestQuickMetricBounds(t *testing.T) {
+	f := func(predRaw, truthRaw [][3]uint8) bool {
+		pred, truth := genTuples(predRaw), genTuples(truthRaw)
+		for _, m := range []Metrics{TupleMetrics(pred, truth), PairMetrics(pred, truth)} {
+			if m.Precision < 0 || m.Precision > 1 || m.Recall < 0 || m.Recall > 1 || m.F1 < 0 || m.F1 > 1 {
+				return false
+			}
+			if m.Precision+m.Recall > 0 {
+				want := 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+				if diff := m.F1 - want; diff > 1e-9 || diff < -1e-9 {
+					return false
+				}
+			} else if m.F1 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predicting exactly the truth gives F1 = 1 on both metrics.
+func TestQuickPerfectPrediction(t *testing.T) {
+	f := func(truthRaw [][3]uint8) bool {
+		truth := genTuples(truthRaw)
+		if len(truth) == 0 {
+			return true
+		}
+		r := Evaluate(truth, truth)
+		return r.Tuple.F1 > 0.999 && r.Pair.F1 > 0.999
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a wrong prediction never increases precision and never
+// decreases recall.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(truthRaw [][3]uint8, wrongSeed int64) bool {
+		truth := genTuples(truthRaw)
+		if len(truth) == 0 {
+			return true
+		}
+		pred := truth[:len(truth)/2+1]
+		base := TupleMetrics(pred, truth)
+		// A tuple with IDs far outside the generated range is surely wrong.
+		wrong := []int{100000 + int(wrongSeed&0xff), 100300, 100301}
+		withWrong := TupleMetrics(append(append([][]int{}, pred...), wrong), truth)
+		return withWrong.Precision <= base.Precision+1e-12 &&
+			withWrong.Recall >= base.Recall-1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

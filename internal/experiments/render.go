@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// renderTable prints a fixed-width text table.
+func renderTable(w io.Writer, title string, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%s\n", title)
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtDuration renders a duration in the paper's style (s/m/h).
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0s"
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	}
+}
+
+// fmtMem renders bytes in the paper's gigabyte style (falling back to MB).
+func fmtMem(b uint64) string {
+	const gb = 1 << 30
+	const mb = 1 << 20
+	if b >= gb {
+		return fmt.Sprintf("%.1fG", float64(b)/gb)
+	}
+	return fmt.Sprintf("%.0fM", float64(b)/mb)
+}
+
+// pct renders a ratio as a percentage with one decimal.
+func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/datagen"
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/multiem"
+	"repro/internal/table"
+)
+
+// MethodResult is one (method, dataset) cell across Tables IV, V, and VI.
+type MethodResult struct {
+	Method  string
+	Dataset string
+	// Skipped explains infeasibility ("\" or "-" cells); when set, the
+	// other fields are meaningless.
+	Skipped string
+	Report  eval.Report
+	Runtime time.Duration
+	// PeakMem is the peak heap growth observed during the run, in bytes.
+	PeakMem uint64
+	// Phases is populated for MultiEM rows (Figure 5).
+	Phases multiem.PhaseTimings
+	// SelectedAttrs is populated for MultiEM rows (Table VII).
+	SelectedAttrs []string
+	// AttrScores is populated for MultiEM rows.
+	AttrScores []multiem.AttrScore
+}
+
+// measure runs f while sampling heap usage, returning elapsed time and peak
+// heap growth over the pre-run baseline.
+func measure(f func() error) (time.Duration, uint64, error) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	err := f()
+	elapsed := time.Since(start)
+	close(done)
+	<-sampled
+	var final runtime.MemStats
+	runtime.ReadMemStats(&final)
+	if final.HeapAlloc > peak.Load() {
+		peak.Store(final.HeapAlloc)
+	}
+	growth := uint64(0)
+	if p := peak.Load(); p > base.HeapAlloc {
+		growth = p - base.HeapAlloc
+	}
+	return elapsed, growth, err
+}
+
+// Methods enumerates the Table IV/V/VI method rows in paper order.
+var Methods = []string{
+	"PromptEM (pw)", "Ditto (pw)", "AutoFJ (pw)",
+	"PromptEM (c)", "Ditto (c)", "AutoFJ (c)",
+	"ALMSER-GB", "MSCD-HAC",
+	"MultiEM", "MultiEM (parallel)",
+	"MultiEM w/o EER", "MultiEM w/o DP",
+}
+
+// RunDataset generates the dataset for cfg and evaluates every requested
+// method on it. methods nil means all Methods.
+func RunDataset(cfg DatasetConfig, methods []string) ([]MethodResult, error) {
+	d, err := datagen.GenerateByName(cfg.Name, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if methods == nil {
+		methods = Methods
+	}
+	var out []MethodResult
+	var sharedCtx *baselines.Context
+	ctxTime := time.Duration(0)
+	needCtx := func() error {
+		if sharedCtx != nil {
+			return nil
+		}
+		start := time.Now()
+		sharedCtx, err = baselines.NewContext(d, embed.NewHashEncoder())
+		ctxTime = time.Since(start)
+		return err
+	}
+	for _, m := range methods {
+		r, err := runMethod(m, cfg, d, needCtx, &sharedCtx, ctxTime)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", m, cfg.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runMethod(method string, cfg DatasetConfig, d *table.Dataset,
+	needCtx func() error, ctxp **baselines.Context, ctxTime time.Duration) (MethodResult, error) {
+
+	res := MethodResult{Method: method, Dataset: cfg.Name}
+
+	// Feasibility is a property of the real (full-scale) dataset: a method
+	// that cannot complete the paper's Music-2000 must show "\" even when
+	// this run generates Music-2000 at reduced scale.
+	fullN := int(float64(d.NumEntities()) / cfg.Scale)
+
+	gate := func(limit int, reason string) bool {
+		if fullN > limit {
+			res.Skipped = reason
+			return true
+		}
+		return false
+	}
+
+	switch method {
+	case "MultiEM", "MultiEM (parallel)", "MultiEM w/o EER", "MultiEM w/o DP":
+		opt := cfg.MultiEMOptions()
+		switch method {
+		case "MultiEM (parallel)":
+			opt.Parallel = true
+		case "MultiEM w/o EER":
+			opt.DisableAttrSelect = true
+		case "MultiEM w/o DP":
+			opt.DisablePruning = true
+		}
+		var result *multiem.Result
+		elapsed, peak, err := measure(func() error {
+			var e error
+			result, e = multiem.Run(d, opt)
+			return e
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Runtime, res.PeakMem = elapsed, peak
+		res.Report = eval.Evaluate(result.Tuples, d.Truth)
+		res.Phases = result.Timings
+		res.SelectedAttrs = result.SelectedNames
+		res.AttrScores = result.AttrScores
+		return res, nil
+
+	case "MSCD-HAC":
+		if gate(GateMSCDHAC, `\`) {
+			return res, nil
+		}
+	case "ALMSER-GB":
+		if gate(GateALMSER, `\`) {
+			return res, nil
+		}
+	case "AutoFJ (pw)", "AutoFJ (c)":
+		if gate(GateAutoFJ, "-") {
+			return res, nil
+		}
+	case "PromptEM (pw)", "PromptEM (c)", "Ditto (pw)", "Ditto (c)":
+		if gate(GatePLM, `\`) {
+			return res, nil
+		}
+	default:
+		return res, fmt.Errorf("unknown method %q", method)
+	}
+
+	// Baseline path: build (or reuse) the shared embedding context.
+	if err := needCtx(); err != nil {
+		return res, err
+	}
+	ctx := *ctxp
+
+	var tuples [][]int
+	elapsed, peak, err := measure(func() error {
+		var e error
+		tuples, e = runBaseline(method, cfg, ctx)
+		return e
+	})
+	if err != nil {
+		if tooLarge, ok := err.(*baselines.ErrTooLarge); ok {
+			res.Skipped = `\`
+			_ = tooLarge
+			return res, nil
+		}
+		return res, err
+	}
+	// Representation time is shared across baselines but belongs to each
+	// method's end-to-end cost.
+	res.Runtime = elapsed + ctxTime
+	res.PeakMem = peak
+	res.Report = eval.Evaluate(tuples, ctx.Dataset.Truth)
+	return res, nil
+}
+
+func runBaseline(method string, cfg DatasetConfig, ctx *baselines.Context) ([][]int, error) {
+	trainFrac := 0.05
+	switch method {
+	case "MSCD-HAC":
+		return baselines.NewMSCDHAC().Run(ctx)
+	case "ALMSER-GB":
+		budget := int(float64(ctx.Dataset.NumTruthPairs()) * trainFrac)
+		if budget < 10 {
+			budget = 10
+		}
+		return baselines.NewALMSER(budget).Run(ctx)
+	}
+
+	var matcher baselines.TwoTableMatcher
+	switch method {
+	case "AutoFJ (pw)", "AutoFJ (c)":
+		matcher = baselines.NewAutoFJ()
+	case "Ditto (pw)", "Ditto (c)":
+		m := baselines.NewPLMMatcher(baselines.VariantDitto)
+		m.Train(ctx, baselines.MakeSplit(ctx.Dataset, trainFrac, 3, cfg.Seed))
+		matcher = m
+	case "PromptEM (pw)", "PromptEM (c)":
+		m := baselines.NewPLMMatcher(baselines.VariantPromptEM)
+		m.Train(ctx, baselines.MakeSplit(ctx.Dataset, trainFrac, 3, cfg.Seed))
+		matcher = m
+	default:
+		return nil, fmt.Errorf("unknown baseline %q", method)
+	}
+	var pairs []baselines.IDPair
+	if method[len(method)-4:] == "(pw)" {
+		pairs = baselines.PairwiseMatch(ctx, matcher)
+	} else {
+		pairs = baselines.ChainMatch(ctx, matcher)
+	}
+	return baselines.PairsToTuples(pairs), nil
+}

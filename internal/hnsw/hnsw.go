@@ -1,0 +1,367 @@
+// Package hnsw implements the Hierarchical Navigable Small World approximate
+// nearest-neighbour index of Malkov & Yashunin (TPAMI 2020) from scratch.
+//
+// The paper's merging phase (§III-C) builds an HNSW index per table (it uses
+// hnswlib) and issues mutual top-K queries against it. This package provides
+// the same algorithm in pure Go: a multi-layer proximity graph in which node
+// levels follow a truncated geometric distribution, searches descend greedily
+// from the sparse top layer, and the bottom layer is explored with an
+// ef-bounded best-first beam. Neighbour sets are chosen with the paper's
+// "select by heuristic" rule, which keeps the graph navigable on clustered
+// data.
+//
+// Construction is serialized internally; Search is safe for concurrent use
+// once construction has finished (the merging pipeline builds per-table
+// indexes in parallel and then queries them from many goroutines).
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/vector"
+)
+
+// Config holds HNSW construction parameters.
+type Config struct {
+	// M is the maximum number of bidirectional links per node in the upper
+	// layers; layer 0 allows 2*M. Typical values 8-48. Default 16.
+	M int
+	// EfConstruction is the beam width used while inserting. Default 200.
+	EfConstruction int
+	// EfSearch is the default beam width for queries; raise for recall,
+	// lower for speed. Default 64. Search never uses a beam narrower
+	// than k.
+	EfSearch int
+	// Metric selects the distance function. Default vector.Cosine, which
+	// matches the merging phase of the paper.
+	Metric vector.Metric
+	// Seed makes level sampling deterministic. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type node struct {
+	id    int // caller-provided external id
+	level int
+	// links[l] holds neighbour indexes (into Index.nodes) at layer l.
+	links [][]int32
+}
+
+// Index is an HNSW approximate nearest-neighbour index.
+type Index struct {
+	cfg    Config
+	dim    int
+	mu     sync.Mutex
+	rng    *rand.Rand
+	levelF float64 // 1 / ln(M)
+
+	vecs  [][]float32
+	nodes []*node
+	entry int // index into nodes of the entry point; -1 when empty
+	maxL  int
+
+	visitPool sync.Pool // of *visitSet, reused across searches
+}
+
+// New creates an empty index for vectors of the given dimensionality.
+func New(dim int, cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	ix := &Index{
+		cfg:    cfg,
+		dim:    dim,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		levelF: 1 / math.Log(float64(cfg.M)),
+		entry:  -1,
+	}
+	ix.visitPool.New = func() any { return &visitSet{} }
+	return ix
+}
+
+// Len reports the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Dim reports the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+func (ix *Index) dist(a, b []float32) float32 { return ix.cfg.Metric.Dist(a, b) }
+
+// Add inserts a vector under an external id. The vector is retained (not
+// copied); callers must not mutate it afterwards.
+func (ix *Index) Add(id int, vec []float32) error {
+	if len(vec) != ix.dim {
+		return fmt.Errorf("hnsw: vector has dim %d, index wants %d", len(vec), ix.dim)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	level := ix.randomLevel()
+	n := &node{id: id, level: level, links: make([][]int32, level+1)}
+	ix.vecs = append(ix.vecs, vec)
+	ix.nodes = append(ix.nodes, n)
+	cur := len(ix.nodes) - 1
+
+	if ix.entry < 0 {
+		ix.entry = cur
+		ix.maxL = level
+		return nil
+	}
+
+	ep := ix.entry
+	// Greedy descent through layers above the new node's level.
+	for l := ix.maxL; l > level; l-- {
+		ep = ix.greedyClosest(vec, ep, l)
+	}
+	// Beam search + heuristic linking at each layer <= level.
+	for l := min(level, ix.maxL); l >= 0; l-- {
+		cands := ix.searchLayer(vec, ep, ix.cfg.EfConstruction, l)
+		selected := ix.selectHeuristic(vec, cands, ix.cfg.M)
+		for _, s := range selected {
+			n.links[l] = append(n.links[l], int32(s.ID))
+			ix.linkBack(s.ID, cur, l)
+		}
+		if len(cands) > 0 {
+			ep = cands[0].ID
+		}
+	}
+	if level > ix.maxL {
+		ix.maxL = level
+		ix.entry = cur
+	}
+	return nil
+}
+
+// AddBatch inserts vectors ids[i] -> vecs[i] sequentially.
+func (ix *Index) AddBatch(ids []int, vecs [][]float32) error {
+	if len(ids) != len(vecs) {
+		return fmt.Errorf("hnsw: %d ids but %d vectors", len(ids), len(vecs))
+	}
+	for i := range ids {
+		if err := ix.Add(ids[i], vecs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomLevel samples a node level from the truncated geometric
+// distribution floor(-ln(U) * mL).
+func (ix *Index) randomLevel() int {
+	u := ix.rng.Float64()
+	for u == 0 {
+		u = ix.rng.Float64()
+	}
+	return int(-math.Log(u) * ix.levelF)
+}
+
+// greedyClosest walks layer l greedily from ep towards q, returning the
+// local minimum.
+func (ix *Index) greedyClosest(q []float32, ep, l int) int {
+	cur := ep
+	curDist := ix.dist(q, ix.vecs[cur])
+	for {
+		improved := false
+		for _, nb := range ix.nodes[cur].links[l] {
+			d := ix.dist(q, ix.vecs[nb])
+			if d < curDist {
+				cur, curDist = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// visitSet is a reusable epoch-stamped visited marker: marking is an array
+// store and resets are O(1) epoch bumps. It replaces a per-search hash map,
+// which dominated search cost at scale.
+type visitSet struct {
+	stamps []uint32
+	epoch  uint32
+}
+
+func (v *visitSet) reset(n int) {
+	if len(v.stamps) < n {
+		v.stamps = make([]uint32, n)
+		v.epoch = 0
+	}
+	v.epoch++
+	if v.epoch == 0 { // wrapped: clear and restart
+		for i := range v.stamps {
+			v.stamps[i] = 0
+		}
+		v.epoch = 1
+	}
+}
+
+func (v *visitSet) visit(i int32) bool {
+	if v.stamps[i] == v.epoch {
+		return true
+	}
+	v.stamps[i] = v.epoch
+	return false
+}
+
+// searchLayer is Algorithm 2 of the HNSW paper: best-first beam search with
+// width ef at layer l, returning up to ef results sorted by distance.
+func (ix *Index) searchLayer(q []float32, ep, ef, l int) []vector.Neighbor {
+	v := ix.visitPool.Get().(*visitSet)
+	defer ix.visitPool.Put(v)
+	v.reset(len(ix.nodes))
+	v.visit(int32(ep))
+	epDist := ix.dist(q, ix.vecs[ep])
+
+	var frontier vector.MinHeap
+	frontier.Push(vector.Neighbor{ID: ep, Dist: epDist})
+	best := vector.NewTopK(ef)
+	best.Push(ep, epDist)
+
+	for frontier.Len() > 0 {
+		c := frontier.Pop()
+		if best.Full() && c.Dist > best.Worst() {
+			break
+		}
+		for _, nb := range ix.nodes[c.ID].links[l] {
+			if v.visit(nb) {
+				continue
+			}
+			d := ix.dist(q, ix.vecs[nb])
+			if !best.Full() || d < best.Worst() {
+				best.Push(int(nb), d)
+				frontier.Push(vector.Neighbor{ID: int(nb), Dist: d})
+			}
+		}
+	}
+	return best.Results()
+}
+
+// selectHeuristic is Algorithm 4 of the HNSW paper: pick up to m neighbours
+// from candidates (sorted by distance), skipping any candidate that is
+// closer to an already-selected neighbour than to the query. This spreads
+// links across clusters and preserves graph navigability.
+func (ix *Index) selectHeuristic(q []float32, cands []vector.Neighbor, m int) []vector.Neighbor {
+	if len(cands) <= m {
+		return cands
+	}
+	selected := make([]vector.Neighbor, 0, m)
+	for _, c := range cands {
+		if len(selected) == m {
+			break
+		}
+		ok := true
+		for _, s := range selected {
+			if ix.dist(ix.vecs[c.ID], ix.vecs[s.ID]) < c.Dist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			selected = append(selected, c)
+		}
+	}
+	// Backfill with nearest skipped candidates if the heuristic was too
+	// aggressive (hnswlib's keepPrunedConnections behaviour).
+	if len(selected) < m {
+		chosen := make(map[int]bool, len(selected))
+		for _, s := range selected {
+			chosen[s.ID] = true
+		}
+		for _, c := range cands {
+			if len(selected) == m {
+				break
+			}
+			if !chosen[c.ID] {
+				selected = append(selected, c)
+			}
+		}
+	}
+	return selected
+}
+
+// linkBack adds a reverse edge from node at internal index from to the new
+// node, shrinking the neighbour list with the heuristic when it overflows.
+func (ix *Index) linkBack(from, to, l int) {
+	n := ix.nodes[from]
+	n.links[l] = append(n.links[l], int32(to))
+	maxM := ix.cfg.M
+	if l == 0 {
+		maxM = 2 * ix.cfg.M
+	}
+	if len(n.links[l]) <= maxM {
+		return
+	}
+	cands := make([]vector.Neighbor, 0, len(n.links[l]))
+	for _, nb := range n.links[l] {
+		cands = append(cands, vector.Neighbor{ID: int(nb), Dist: ix.dist(ix.vecs[from], ix.vecs[nb])})
+	}
+	sortNeighbors(cands)
+	kept := ix.selectHeuristic(ix.vecs[from], cands, maxM)
+	n.links[l] = n.links[l][:0]
+	for _, kn := range kept {
+		n.links[l] = append(n.links[l], int32(kn.ID))
+	}
+}
+
+// Search returns the (approximately) k nearest stored vectors to q, sorted
+// by increasing distance, with external ids. ef overrides the configured
+// EfSearch when positive.
+func (ix *Index) Search(q []float32, k, ef int) []vector.Neighbor {
+	if ix.entry < 0 || k <= 0 {
+		return nil
+	}
+	if ef <= 0 {
+		ef = ix.cfg.EfSearch
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := ix.entry
+	for l := ix.maxL; l > 0; l-- {
+		ep = ix.greedyClosest(q, ep, l)
+	}
+	res := ix.searchLayer(q, ep, ef, 0)
+	if len(res) > k {
+		res = res[:k]
+	}
+	// Translate internal indexes to external ids.
+	out := make([]vector.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = vector.Neighbor{ID: ix.nodes[r.ID].id, Dist: r.Dist}
+	}
+	return out
+}
+
+func sortNeighbors(ns []vector.Neighbor) {
+	// Insertion sort: neighbour lists are tiny (<= 2M+1).
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].Dist < ns[j-1].Dist; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,350 @@
+package hnsw
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func randUnitVecs(rng *rand.Rand, n, dim int) [][]float32 {
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		vecs[i] = vector.Normalize(v)
+	}
+	return vecs
+}
+
+func bruteKNN(q []float32, vecs [][]float32, k int, m vector.Metric) []vector.Neighbor {
+	tk := vector.NewTopK(k)
+	for i, v := range vecs {
+		tk.Push(i, m.Dist(q, v))
+	}
+	return tk.Results()
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(4, Config{})
+	if got := ix.Search([]float32{1, 0, 0, 0}, 3, 0); got != nil {
+		t.Fatalf("empty index must return nil, got %v", got)
+	}
+	if ix.Len() != 0 {
+		t.Fatal("empty index must have Len 0")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	ix := New(2, Config{})
+	if err := ix.Add(42, []float32{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Search([]float32{0.9, 0.1}, 5, 0)
+	if len(res) != 1 || res[0].ID != 42 {
+		t.Fatalf("got %v, want single id 42", res)
+	}
+}
+
+func TestDimMismatch(t *testing.T) {
+	ix := New(3, Config{})
+	if err := ix.Add(0, []float32{1, 0}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestAddBatchLengthMismatch(t *testing.T) {
+	ix := New(2, Config{})
+	if err := ix.AddBatch([]int{1, 2}, [][]float32{{1, 0}}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestExactOnTinySet(t *testing.T) {
+	ix := New(2, Config{Seed: 7})
+	pts := [][]float32{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+	for i, p := range pts {
+		if err := ix.Add(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ix.Search([]float32{0.95, 0.05}, 1, 0)
+	if len(res) != 1 || res[0].ID != 0 {
+		t.Fatalf("nearest to (1,0)-ish must be id 0, got %v", res)
+	}
+}
+
+func TestSearchKLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs := randUnitVecs(rng, 50, 8)
+	ix := New(8, Config{Seed: 3})
+	for i, v := range vecs {
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ix.Search(vecs[0], 0, 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := ix.Search(vecs[0], 10, 0); len(got) != 10 {
+		t.Fatalf("k=10 must return 10, got %d", len(got))
+	}
+	if got := ix.Search(vecs[0], 500, 0); len(got) != 50 {
+		t.Fatalf("k beyond size must return all 50, got %d", len(got))
+	}
+}
+
+func TestSelfIsNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecs := randUnitVecs(rng, 200, 16)
+	ix := New(16, Config{Seed: 5})
+	for i, v := range vecs {
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses := 0
+	for i := 0; i < 50; i++ {
+		res := ix.Search(vecs[i], 1, 0)
+		if len(res) != 1 || res[0].ID != i {
+			misses++
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("self-lookup missed %d/50 times", misses)
+	}
+}
+
+// Recall against brute force must be high on random data.
+func TestRecallAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, dim, k, queries = 2000, 16, 10, 50
+	vecs := randUnitVecs(rng, n, dim)
+	ix := New(dim, Config{M: 16, EfConstruction: 200, EfSearch: 128, Seed: 9})
+	for i, v := range vecs {
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalHits, total := 0, 0
+	for qi := 0; qi < queries; qi++ {
+		q := randUnitVecs(rng, 1, dim)[0]
+		want := bruteKNN(q, vecs, k, vector.Cosine)
+		wantSet := make(map[int]bool, k)
+		for _, w := range want {
+			wantSet[w.ID] = true
+		}
+		got := ix.Search(q, k, 0)
+		for _, g := range got {
+			if wantSet[g.ID] {
+				totalHits++
+			}
+		}
+		total += k
+	}
+	recall := float64(totalHits) / float64(total)
+	if recall < 0.9 {
+		t.Fatalf("recall = %.3f, want >= 0.9", recall)
+	}
+}
+
+func TestRecallEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, dim, k = 1000, 8, 5
+	vecs := randUnitVecs(rng, n, dim)
+	ix := New(dim, Config{Metric: vector.Euclidean, EfSearch: 100, Seed: 13})
+	for i, v := range vecs {
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, total := 0, 0
+	for qi := 0; qi < 20; qi++ {
+		q := randUnitVecs(rng, 1, dim)[0]
+		want := bruteKNN(q, vecs, k, vector.Euclidean)
+		wantSet := map[int]bool{}
+		for _, w := range want {
+			wantSet[w.ID] = true
+		}
+		for _, g := range ix.Search(q, k, 0) {
+			if wantSet[g.ID] {
+				hits++
+			}
+		}
+		total += k
+	}
+	if r := float64(hits) / float64(total); r < 0.85 {
+		t.Fatalf("euclidean recall = %.3f", r)
+	}
+}
+
+func TestResultsSortedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vecs := randUnitVecs(rng, 300, 8)
+	ix := New(8, Config{Seed: 2})
+	for i, v := range vecs {
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ix.Search(vecs[17], 20, 0)
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatalf("results not sorted at %d: %v < %v", i, res[i].Dist, res[i-1].Dist)
+		}
+	}
+}
+
+func TestDuplicateVectors(t *testing.T) {
+	ix := New(2, Config{Seed: 8})
+	v := []float32{1, 0}
+	for i := 0; i < 10; i++ {
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ix.Search(v, 10, 0)
+	if len(res) != 10 {
+		t.Fatalf("want all 10 duplicates, got %d", len(res))
+	}
+	for _, r := range res {
+		if r.Dist > 1e-6 {
+			t.Fatalf("duplicate at nonzero distance %v", r.Dist)
+		}
+	}
+}
+
+func TestExternalIDsArbitrary(t *testing.T) {
+	ix := New(2, Config{Seed: 4})
+	ids := []int{1000, -5, 0, 99999}
+	pts := [][]float32{{1, 0}, {0, 1}, {-1, 0}, {0.7, 0.7}}
+	for i := range ids {
+		if err := ix.Add(ids[i], pts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ix.Search([]float32{0, 0.99}, 1, 0)
+	if res[0].ID != -5 {
+		t.Fatalf("external id must round-trip, got %v", res)
+	}
+}
+
+func TestConcurrentSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	vecs := randUnitVecs(rng, 500, 8)
+	ix := New(8, Config{Seed: 17})
+	for i, v := range vecs {
+		if err := ix.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				q := randUnitVecs(r, 1, 8)[0]
+				if got := ix.Search(q, 5, 0); len(got) != 5 {
+					t.Errorf("concurrent search returned %d results", len(got))
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	vecs := randUnitVecs(rng, 300, 8)
+	build := func() *Index {
+		ix := New(8, Config{Seed: 99})
+		for i, v := range vecs {
+			if err := ix.Add(i, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	a, b := build(), build()
+	q := vecs[123]
+	ra := a.Search(q, 10, 0)
+	rb := b.Search(q, 10, 0)
+	if len(ra) != len(rb) {
+		t.Fatal("determinism violated: different result counts")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("determinism violated at %d: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestClusteredDataNavigability(t *testing.T) {
+	// Two tight clusters far apart: searches from each cluster must stay
+	// inside it. This exercises the selection heuristic.
+	rng := rand.New(rand.NewSource(15))
+	ix := New(4, Config{M: 8, Seed: 23})
+	n := 200
+	for i := 0; i < n; i++ {
+		base := []float32{1, 0, 0, 0}
+		if i >= n/2 {
+			base = []float32{0, 0, 0, 1}
+		}
+		v := make([]float32, 4)
+		for j := range v {
+			v[j] = base[j] + float32(rng.NormFloat64())*0.01
+		}
+		if err := ix.Add(i, vector.Normalize(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ix.Search([]float32{1, 0, 0, 0}, 10, 0)
+	for _, r := range res {
+		if r.ID >= n/2 {
+			t.Fatalf("query in cluster A returned id %d from cluster B", r.ID)
+		}
+	}
+	res = ix.Search([]float32{0, 0, 0, 1}, 10, 0)
+	for _, r := range res {
+		if r.ID < n/2 {
+			t.Fatalf("query in cluster B returned id %d from cluster A", r.ID)
+		}
+	}
+}
+
+func BenchmarkBuild1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := randUnitVecs(rng, 1000, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix := New(32, Config{Seed: 1})
+		for j, v := range vecs {
+			if err := ix.Add(j, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSearch10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := randUnitVecs(rng, 10000, 32)
+	ix := New(32, Config{Seed: 1})
+	for j, v := range vecs {
+		if err := ix.Add(j, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := randUnitVecs(rng, 1, 32)[0]
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 10, 0)
+	}
+}

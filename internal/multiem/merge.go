@@ -1,0 +1,209 @@
+package multiem
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/ann"
+	"repro/internal/hnsw"
+	"repro/internal/unionfind"
+	"repro/internal/vector"
+)
+
+// item is one row of a (possibly merged) table during Phase II: a candidate
+// tuple of entity positions plus a representative embedding. A fresh item
+// holds a single entity and that entity's embedding; merged items hold the
+// L2-normalized centroid of their members' embeddings.
+type item struct {
+	members []int // global entity positions (indexes into the pipeline's vecs)
+	vec     []float32
+	// maxJoinDist is the largest pair distance accepted anywhere along
+	// this item's merge history — the "merge path" information the paper
+	// lists as future work (§VI): it survives the locality of pairwise
+	// merging and yields a per-tuple confidence.
+	maxJoinDist float32
+}
+
+// mergeContext carries what two-table merging needs about the whole dataset:
+// the per-entity embeddings used to recompute centroids.
+type mergeContext struct {
+	entVecs [][]float32
+	opt     *Options
+}
+
+func (mc *mergeContext) buildIndex(vecs [][]float32, ids []int) (ann.Index, error) {
+	switch mc.opt.Backend {
+	case BackendBrute:
+		return ann.NewBruteForce(ids, vecs, mc.opt.MergeMetric), nil
+	default:
+		cfg := mc.opt.HNSW
+		cfg.Metric = mc.opt.MergeMetric
+		ix := hnsw.New(len(vecs[0]), cfg)
+		if err := ix.AddBatch(ids, vecs); err != nil {
+			return nil, err
+		}
+		return ix, nil
+	}
+}
+
+// queryWorkers returns the parallelism used for ANN queries inside one
+// two-table merge: sequential MultiEM keeps queries on one goroutine, the
+// parallel variant fans out.
+func (mc *mergeContext) queryWorkers() int {
+	if !mc.opt.Parallel {
+		return 1
+	}
+	if mc.opt.Workers > 0 {
+		return mc.opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mergeTwoTables implements Algorithm 3: find mutual top-K entity pairs
+// between tables a and b (Eq. 1), union matched items transitively, and
+// emit the merged table containing combined tuples plus all unmatched items.
+func (mc *mergeContext) mergeTwoTables(a, b []item) ([]item, error) {
+	if len(a) == 0 {
+		return b, nil
+	}
+	if len(b) == 0 {
+		return a, nil
+	}
+	// Slot id spaces: A occupies [0, len(a)), B occupies [len(a), len(a)+len(b)).
+	idsA := make([]int, len(a))
+	vecsA := make([][]float32, len(a))
+	for i := range a {
+		idsA[i] = i
+		vecsA[i] = a[i].vec
+	}
+	idsB := make([]int, len(b))
+	vecsB := make([][]float32, len(b))
+	for j := range b {
+		idsB[j] = len(a) + j
+		vecsB[j] = b[j].vec
+	}
+	indexA, err := mc.buildIndex(vecsA, idsA)
+	if err != nil {
+		return nil, fmt.Errorf("multiem: index A: %w", err)
+	}
+	indexB, err := mc.buildIndex(vecsB, idsB)
+	if err != nil {
+		return nil, fmt.Errorf("multiem: index B: %w", err)
+	}
+
+	pairs := ann.MutualTopK(idsA, vecsA, indexB, idsB, vecsB, indexA,
+		mc.opt.K, mc.opt.M, mc.opt.EfSearch, mc.queryWorkers())
+
+	// Merge matched slots by transitivity (Alg. 3 line 8).
+	uf := unionfind.New()
+	total := len(a) + len(b)
+	for s := 0; s < total; s++ {
+		uf.Add(s)
+	}
+	for _, p := range pairs {
+		uf.Union(p.A, p.B)
+	}
+
+	slotItem := func(s int) item {
+		if s < len(a) {
+			return a[s]
+		}
+		return b[s-len(a)]
+	}
+	// Merge-path provenance: the worst accepted pair distance per group.
+	groupMax := make(map[int]float32)
+	for _, p := range pairs {
+		root := uf.Find(p.A)
+		if p.Dist > groupMax[root] {
+			groupMax[root] = p.Dist
+		}
+	}
+	merged := make([]item, 0, total-len(pairs))
+	for _, group := range uf.Sets(1) {
+		if len(group) == 1 {
+			// Mismatched item: retained unchanged into the next
+			// hierarchy (Alg. 3 line 9).
+			merged = append(merged, slotItem(group[0]))
+			continue
+		}
+		var members []int
+		maxDist := groupMax[uf.Find(group[0])]
+		for _, s := range group {
+			it := slotItem(s)
+			members = append(members, it.members...)
+			if it.maxJoinDist > maxDist {
+				maxDist = it.maxJoinDist
+			}
+		}
+		merged = append(merged, item{members: members, vec: mc.centroid(members), maxJoinDist: maxDist})
+	}
+	return merged, nil
+}
+
+// centroid returns the unit-norm mean of the members' entity embeddings.
+func (mc *mergeContext) centroid(members []int) []float32 {
+	if len(members) == 1 {
+		return mc.entVecs[members[0]]
+	}
+	out := make([]float32, len(mc.entVecs[members[0]]))
+	for _, pos := range members {
+		vector.Add(out, mc.entVecs[pos])
+	}
+	vector.Scale(out, 1/float32(len(members)))
+	return vector.Normalize(out)
+}
+
+// hierarchicalMerge implements Algorithm 2: repeatedly pair up the current
+// tables at random and merge each pair (Fig. 2b) until a single integrated
+// table remains. With opt.Parallel, the pairs of one hierarchy are merged
+// concurrently (§III-E, "merging in parallel").
+func (mc *mergeContext) hierarchicalMerge(tables [][]item) ([]item, error) {
+	rng := rand.New(rand.NewSource(mc.opt.Seed + 211))
+	for len(tables) > 1 {
+		rng.Shuffle(len(tables), func(i, j int) { tables[i], tables[j] = tables[j], tables[i] })
+		nPairs := len(tables) / 2
+		next := make([][]item, 0, nPairs+1)
+
+		if mc.opt.Parallel && nPairs > 1 {
+			results := make([][]item, nPairs)
+			errs := make([]error, nPairs)
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, mc.queryWorkers())
+			for p := 0; p < nPairs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					results[p], errs[p] = mc.mergeTwoTables(tables[2*p], tables[2*p+1])
+				}(p)
+			}
+			wg.Wait()
+			for p := 0; p < nPairs; p++ {
+				if errs[p] != nil {
+					return nil, errs[p]
+				}
+				next = append(next, results[p])
+			}
+		} else {
+			for p := 0; p < nPairs; p++ {
+				m, err := mc.mergeTwoTables(tables[2*p], tables[2*p+1])
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, m)
+			}
+		}
+		if len(tables)%2 == 1 {
+			// The odd table out is carried into the next hierarchy.
+			next = append(next, tables[len(tables)-1])
+		}
+		tables = next
+	}
+	if len(tables) == 0 {
+		return nil, nil
+	}
+	return tables[0], nil
+}

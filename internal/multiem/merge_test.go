@@ -1,0 +1,248 @@
+package multiem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func unitv(vs ...float32) []float32 { return vector.Normalize(vs) }
+
+func mcFor(t *testing.T, opt Options, entVecs [][]float32) *mergeContext {
+	t.Helper()
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &mergeContext{entVecs: entVecs, opt: &opt}
+}
+
+func singleItems(entVecs [][]float32, positions ...int) []item {
+	items := make([]item, len(positions))
+	for i, p := range positions {
+		items[i] = item{members: []int{p}, vec: entVecs[p]}
+	}
+	return items
+}
+
+func TestMergeTwoTablesEmptySides(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 0)}
+	mc := mcFor(t, DefaultOptions(), entVecs)
+	a := singleItems(entVecs, 0)
+	got, err := mc.mergeTwoTables(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].members[0] != 0 {
+		t.Fatalf("empty B must return A unchanged: %+v", got)
+	}
+	got, err = mc.mergeTwoTables(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("empty A must return B unchanged: %+v", got)
+	}
+}
+
+func TestMergeTwoTablesMatchesClosePairs(t *testing.T) {
+	// Entities 0/2 nearly identical across tables; 1/3 nearly identical;
+	// cross pairs orthogonal.
+	entVecs := [][]float32{
+		unitv(1, 0, 0), unitv(0, 0, 1),
+		unitv(0.99, 0.01, 0), unitv(0, 0.01, 0.99),
+	}
+	opt := DefaultOptions()
+	opt.M = 0.3
+	opt.Backend = BackendBrute
+	mc := mcFor(t, opt, entVecs)
+	a := singleItems(entVecs, 0, 1)
+	b := singleItems(entVecs, 2, 3)
+	merged, err := mc.mergeTwoTables(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("want 2 merged items, got %d: %+v", len(merged), merged)
+	}
+	for _, it := range merged {
+		if len(it.members) != 2 {
+			t.Fatalf("each item must hold a matched pair: %+v", merged)
+		}
+	}
+}
+
+func TestMergeTwoTablesRespectsThreshold(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 0), unitv(0, 1)}
+	opt := DefaultOptions()
+	opt.M = 0.2 // orthogonal vectors are at distance 1.0
+	opt.Backend = BackendBrute
+	mc := mcFor(t, opt, entVecs)
+	merged, err := mc.mergeTwoTables(singleItems(entVecs, 0), singleItems(entVecs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("distant items must stay separate: %+v", merged)
+	}
+}
+
+func TestCentroidSingleMemberIsSharedVector(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 2, 3)}
+	mc := mcFor(t, DefaultOptions(), entVecs)
+	c := mc.centroid([]int{0})
+	if &c[0] != &entVecs[0][0] {
+		t.Fatal("single-member centroid must alias the entity vector (no copy)")
+	}
+}
+
+func TestCentroidIsUnitNorm(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 0), unitv(0, 1)}
+	mc := mcFor(t, DefaultOptions(), entVecs)
+	c := mc.centroid([]int{0, 1})
+	if n := vector.Norm(c); n < 0.999 || n > 1.001 {
+		t.Fatalf("centroid norm = %v", n)
+	}
+	// Must lie between the two inputs.
+	if vector.CosineSim(c, entVecs[0]) < 0.5 || vector.CosineSim(c, entVecs[1]) < 0.5 {
+		t.Fatal("centroid must be between its members")
+	}
+}
+
+func TestHierarchicalMergeSingleTable(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 0)}
+	mc := mcFor(t, DefaultOptions(), entVecs)
+	got, err := mc.hierarchicalMerge([][]item{singleItems(entVecs, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("single table passes through: %+v", got)
+	}
+}
+
+func TestHierarchicalMergeNoTables(t *testing.T) {
+	mc := mcFor(t, DefaultOptions(), nil)
+	got, err := mc.hierarchicalMerge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("no tables -> nil, got %+v", got)
+	}
+}
+
+func TestHierarchicalMergeOddTableCount(t *testing.T) {
+	// Three tables, one entity each, all identical: after two hierarchies
+	// everything must end in one tuple of three.
+	entVecs := [][]float32{unitv(1, 0), unitv(1, 0), unitv(1, 0)}
+	opt := DefaultOptions()
+	opt.M = 0.3
+	opt.Backend = BackendBrute
+	mc := mcFor(t, opt, entVecs)
+	tables := [][]item{
+		singleItems(entVecs, 0),
+		singleItems(entVecs, 1),
+		singleItems(entVecs, 2),
+	}
+	got, err := mc.hierarchicalMerge(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].members) != 3 {
+		t.Fatalf("all three copies must merge: %+v", got)
+	}
+}
+
+func TestTransitivityThroughHierarchies(t *testing.T) {
+	// a≈b and b≈c but a and c are (slightly) farther: transitivity via
+	// union-find must still put all three together when a-b and b-c both
+	// pass the threshold within one merge.
+	a := unitv(1, 0, 0)
+	b := unitv(0.95, 0.31, 0)
+	c := unitv(0.81, 0.59, 0)
+	entVecs := [][]float32{a, b, c}
+	opt := DefaultOptions()
+	opt.M = 0.1 // a-b ≈ 0.05, b-c ≈ 0.05, a-c ≈ 0.19
+	opt.K = 2
+	opt.Backend = BackendBrute
+	mc := mcFor(t, opt, entVecs)
+	// Put a and c in one table, b alone in the other, so both pairs are
+	// evaluated in a single two-table merge.
+	merged, err := mc.mergeTwoTables(singleItems(entVecs, 0, 2), singleItems(entVecs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 || len(merged[0].members) != 3 {
+		t.Fatalf("transitive closure must group all three: %+v", merged)
+	}
+}
+
+func TestPruneItemsRemovesOutlier(t *testing.T) {
+	entVecs := [][]float32{
+		unitv(1, 0, 0), unitv(0.99, 0.14, 0), unitv(0, 0, 1),
+	}
+	opt := DefaultOptions()
+	opt.Eps = 0.6
+	items := []item{{members: []int{0, 1, 2}}}
+	tuples, confs := pruneItems(items, entVecs, &opt)
+	if len(confs) != len(tuples) {
+		t.Fatalf("confidences misaligned: %d vs %d", len(confs), len(tuples))
+	}
+	if len(tuples) != 1 || len(tuples[0]) != 2 {
+		t.Fatalf("outlier must be pruned: %v", tuples)
+	}
+}
+
+func TestPruneItemsDropsShrunkenTuples(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 0), unitv(0, 1)}
+	opt := DefaultOptions()
+	opt.Eps = 0.2
+	items := []item{{members: []int{0, 1}}}
+	if got, _ := pruneItems(items, entVecs, &opt); got != nil {
+		t.Fatalf("tuple shrinking below 2 must disappear: %v", got)
+	}
+}
+
+func TestPruneItemsParallelMatchesSequential(t *testing.T) {
+	entVecs := make([][]float32, 60)
+	items := make([]item, 20)
+	for i := range items {
+		base := unitv(float32(i+1), 1, 0)
+		entVecs[3*i] = base
+		entVecs[3*i+1] = base
+		entVecs[3*i+2] = unitv(0, 0, 1)
+		items[i] = item{members: []int{3 * i, 3*i + 1, 3*i + 2}}
+	}
+	seq := DefaultOptions()
+	seq.Eps = 0.5
+	par := seq
+	par.Parallel = true
+	a, _ := pruneItems(items, entVecs, &seq)
+	b, _ := pruneItems(items, entVecs, &par)
+	if len(a) != len(b) {
+		t.Fatalf("parallel pruning differs: %d vs %d tuples", len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for _, tp := range a {
+		seen[key(tp)] = true
+	}
+	for _, tp := range b {
+		if !seen[key(tp)] {
+			t.Fatalf("parallel produced unseen tuple %v", tp)
+		}
+	}
+}
+
+func key(tuple []int) string { return fmt.Sprint(tuple) }
+
+func TestPruneItemsDisabled(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 0), unitv(0, 1)}
+	opt := DefaultOptions()
+	opt.DisablePruning = true
+	items := []item{{members: []int{0, 1}}}
+	got, _ := pruneItems(items, entVecs, &opt)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("w/o DP must keep the raw tuple: %v", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package multiem implements the paper's primary contribution: the
+// three-phase unsupervised multi-table entity-matching pipeline of
+//
+//	MultiEM: Efficient and Effective Unsupervised Multi-Table Entity
+//	Matching (ICDE 2024)
+//
+// Phase I (enhanced entity representation, §III-B) serializes entities over
+// an automatically selected attribute subset and embeds them; Phase II
+// (table-wise hierarchical merging, §III-C) merges tables pairwise in a
+// binary-tree schedule using mutual top-K ANN search and union-find
+// transitivity; Phase III (density-based pruning, §III-D) removes outlier
+// entities from candidate tuples. Both merging and pruning have parallel
+// variants (§III-E).
+package multiem
+
+import (
+	"fmt"
+
+	"repro/internal/embed"
+	"repro/internal/hnsw"
+	"repro/internal/vector"
+)
+
+// ANNBackend selects the index used inside the merging phase.
+type ANNBackend int
+
+const (
+	// BackendHNSW is the paper's choice (§IV-A uses hnswlib).
+	BackendHNSW ANNBackend = iota
+	// BackendBrute is exact search; used by tests and the ANN ablation.
+	BackendBrute
+)
+
+// Options holds every hyperparameter of the pipeline. The zero value is not
+// usable; start from DefaultOptions.
+type Options struct {
+	// K is the mutual top-K width of Eq. 1. The paper fixes k=1 (§IV-A).
+	K int
+	// M is the distance threshold m of Eq. 1 on cosine distance; pairs
+	// farther than M are never merged. Grid {0.05, 0.2, 0.35, 0.5}.
+	M float32
+	// Gamma is the attribute-selection threshold γ: an attribute is kept
+	// when shuffling it moves embeddings enough that the mean cosine
+	// similarity between original and shuffled embeddings is <= Gamma.
+	// Grid {0.8, 0.9}.
+	//
+	// Note: the paper's Algorithm 1 pseudocode writes "if sim >= γ then
+	// select", but its own Example 1 (id keeps sim 0.91 and is dropped;
+	// album drops sim to 0.79 and is kept — Table VII) requires the
+	// opposite comparison, so this implementation selects significant
+	// attributes with sim <= γ.
+	Gamma float32
+	// SampleRatio is r of Algorithm 1: the fraction of rows sampled when
+	// computing attribute significance. 0.2 default, 0.05 for very large
+	// datasets (§IV-A).
+	SampleRatio float64
+	// MinSample floors the row sample so tiny datasets stay meaningful.
+	MinSample int
+	// Eps is the pruning radius ε (euclidean, Defs. 3-5). Grid {0.8, 1.0}.
+	Eps float32
+	// MinPts is the core-entity density threshold; the paper fixes 2.
+	MinPts int
+	// Encoder embeds serialized entities. Defaults to the hashed n-gram
+	// encoder standing in for Sentence-BERT.
+	Encoder embed.Encoder
+	// Backend picks HNSW (default) or exact search.
+	Backend ANNBackend
+	// HNSW configures the HNSW backend.
+	HNSW hnsw.Config
+	// EfSearch overrides query beam width (0 keeps the backend default).
+	EfSearch int
+	// Parallel enables parallel merging of table pairs and parallel
+	// pruning (MultiEM(parallel), §III-E).
+	Parallel bool
+	// Workers bounds parallelism when Parallel is set (<= 0: all cores).
+	Workers int
+	// Seed drives the random merge order of Algorithm 2.
+	Seed int64
+	// DisableAttrSelect turns off Phase I attribute selection
+	// ("MultiEM w/o EER" ablation): all attributes are used.
+	DisableAttrSelect bool
+	// DisablePruning turns off Phase III ("MultiEM w/o DP" ablation).
+	DisablePruning bool
+	// MinConfidence drops predicted tuples whose merge-path confidence
+	// (1 - worst-accepted-join-distance / 2) falls below it. 0 disables
+	// the filter. This implements the merge-path extension the paper
+	// lists as future work (§VI).
+	MinConfidence float64
+	// MergeMetric is the distance used in merging (paper: cosine).
+	MergeMetric vector.Metric
+	// PruneMetric is the distance used in pruning (paper: euclidean).
+	PruneMetric vector.Metric
+}
+
+// DefaultOptions mirrors §IV-A: k=1, MinPts=2, r=0.2, cosine merging,
+// euclidean pruning, mid-grid m and γ and ε.
+func DefaultOptions() Options {
+	return Options{
+		K:           1,
+		M:           0.35,
+		Gamma:       0.9,
+		SampleRatio: 0.2,
+		MinSample:   50,
+		Eps:         1.0,
+		MinPts:      2,
+		Encoder:     embed.NewHashEncoder(),
+		Backend:     BackendHNSW,
+		HNSW:        hnsw.Config{M: 12, EfConstruction: 64, EfSearch: 64, Metric: vector.CosineUnit, Seed: 1},
+		Seed:        0,
+		MergeMetric: vector.CosineUnit,
+		PruneMetric: vector.Euclidean,
+	}
+}
+
+// Validate rejects unusable option combinations.
+func (o *Options) Validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("multiem: K must be positive, got %d", o.K)
+	}
+	if o.M < 0 || o.M > 2 {
+		return fmt.Errorf("multiem: M must be a cosine distance in [0,2], got %v", o.M)
+	}
+	if o.Gamma <= 0 || o.Gamma > 1 {
+		return fmt.Errorf("multiem: Gamma must be in (0,1], got %v", o.Gamma)
+	}
+	if o.SampleRatio <= 0 || o.SampleRatio > 1 {
+		return fmt.Errorf("multiem: SampleRatio must be in (0,1], got %v", o.SampleRatio)
+	}
+	if o.Eps <= 0 {
+		return fmt.Errorf("multiem: Eps must be positive, got %v", o.Eps)
+	}
+	if o.MinPts <= 0 {
+		return fmt.Errorf("multiem: MinPts must be positive, got %d", o.MinPts)
+	}
+	if o.Encoder == nil {
+		return fmt.Errorf("multiem: Encoder is required")
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the table as CSV with a header row of attribute names.
+// The entity ID and source are prepended as reserved columns "_id" and
+// "_src" so round-tripping preserves identity.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"_id", "_src"}, t.Schema.Attrs...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("table: write header: %w", err)
+	}
+	row := make([]string, 0, len(header))
+	for _, e := range t.Entities {
+		row = row[:0]
+		row = append(row, strconv.Itoa(e.ID), strconv.Itoa(e.Source))
+		row = append(row, e.Values...)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("table: write row for entity %d: %w", e.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table previously written by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "_id" || header[1] != "_src" {
+		return nil, fmt.Errorf("table: %s: header must begin with _id,_src", name)
+	}
+	t := New(name, NewSchema(header[2:]...))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: %s line %d: %w", name, line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("table: %s line %d: %d fields, want %d", name, line, len(rec), len(header))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("table: %s line %d: bad _id %q", name, line, rec[0])
+		}
+		src, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("table: %s line %d: bad _src %q", name, line, rec[1])
+		}
+		t.Append(&Entity{ID: id, Source: src, Values: append([]string(nil), rec[2:]...)})
+	}
+	return t, nil
+}
+
+// SaveDataset writes a dataset into dir: one CSV per table named
+// source-<i>.csv plus truth.csv listing ground-truth tuples (one tuple per
+// row, IDs comma-separated by the CSV format itself).
+func SaveDataset(d *Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("table: mkdir %s: %w", dir, err)
+	}
+	for i, t := range d.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("source-%d.csv", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("table: create %s: %w", path, err)
+		}
+		werr := t.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return fmt.Errorf("table: close %s: %w", path, cerr)
+		}
+	}
+	if d.Truth != nil {
+		path := filepath.Join(dir, "truth.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("table: create %s: %w", path, err)
+		}
+		cw := csv.NewWriter(f)
+		for _, tuple := range d.Truth {
+			row := make([]string, len(tuple))
+			for j, id := range tuple {
+				row[j] = strconv.Itoa(id)
+			}
+			if err := cw.Write(row); err != nil {
+				f.Close()
+				return fmt.Errorf("table: write truth: %w", err)
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("table: close %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// LoadDataset reads a dataset directory written by SaveDataset. The dataset
+// name defaults to the directory base name.
+func LoadDataset(dir string) (*Dataset, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("table: read dir %s: %w", dir, err)
+	}
+	var sources []string
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), "source-") && strings.HasSuffix(ent.Name(), ".csv") {
+			sources = append(sources, ent.Name())
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("table: no source-*.csv files in %s", dir)
+	}
+	sort.Slice(sources, func(i, j int) bool {
+		return sourceIndex(sources[i]) < sourceIndex(sources[j])
+	})
+	d := &Dataset{Name: filepath.Base(dir)}
+	for _, name := range sources {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("table: open %s: %w", name, err)
+		}
+		t, perr := ReadCSV(strings.TrimSuffix(name, ".csv"), f)
+		cerr := f.Close()
+		if perr != nil {
+			return nil, perr
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("table: close %s: %w", name, cerr)
+		}
+		d.Tables = append(d.Tables, t)
+	}
+	truthPath := filepath.Join(dir, "truth.csv")
+	if f, err := os.Open(truthPath); err == nil {
+		defer f.Close()
+		cr := csv.NewReader(f)
+		cr.FieldsPerRecord = -1
+		for line := 1; ; line++ {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("table: truth.csv line %d: %w", line, err)
+			}
+			tuple := make([]int, len(rec))
+			for j, s := range rec {
+				tuple[j], err = strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("table: truth.csv line %d: bad id %q", line, s)
+				}
+			}
+			d.Truth = append(d.Truth, tuple)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("table: open truth.csv: %w", err)
+	}
+	return d, nil
+}
+
+func sourceIndex(name string) int {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "source-"), ".csv")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 1 << 30
+	}
+	return n
+}

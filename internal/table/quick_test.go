@@ -1,0 +1,107 @@
+package table
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: TupleKey is permutation-invariant and injective on sets.
+func TestQuickTupleKey(t *testing.T) {
+	f := func(idsRaw []uint16, seed int64) bool {
+		if len(idsRaw) == 0 {
+			return true
+		}
+		seen := map[int]bool{}
+		var ids []int
+		for _, r := range idsRaw {
+			if !seen[int(r)] {
+				seen[int(r)] = true
+				ids = append(ids, int(r))
+			}
+		}
+		shuffled := append([]int(nil), ids...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if TupleKey(ids) != TupleKey(shuffled) {
+			return false
+		}
+		// Dropping one element must change the key.
+		if len(ids) > 1 && TupleKey(ids) == TupleKey(ids[1:]) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization never contains leading/trailing/double spaces and
+// only contains characters from the (trimmed) values.
+func TestQuickSerializeClean(t *testing.T) {
+	f := func(vals []string) bool {
+		e := &Entity{Values: vals}
+		s := Serialize(e, nil)
+		if strings.HasPrefix(s, " ") || strings.HasSuffix(s, " ") {
+			return false
+		}
+		// No value that is pure whitespace may contribute a separator.
+		return !strings.Contains(s, "  ") ||
+			containsDoubleSpaceInput(vals)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// containsDoubleSpaceInput reports whether some value itself contains two
+// adjacent spaces after trimming — the only legitimate source of a double
+// space in the serialization.
+func containsDoubleSpaceInput(vals []string) bool {
+	for _, v := range vals {
+		if strings.Contains(strings.TrimSpace(v), "  ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: CSV round-trip preserves arbitrary (printable and not) values.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(rows [][2]string) bool {
+		tbl := New("q", NewSchema("a", "b"))
+		for i, r := range rows {
+			// encoding/csv cannot round-trip bare \r; normalize like any
+			// real loader would.
+			a := strings.ReplaceAll(r[0], "\r", " ")
+			b := strings.ReplaceAll(r[1], "\r", " ")
+			tbl.Append(&Entity{ID: i, Source: 0, Values: []string{a, b}})
+		}
+		var buf strings.Builder
+		if err := tbl.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV("q", strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		if got.Len() != tbl.Len() {
+			return false
+		}
+		for i := range tbl.Entities {
+			if got.Entities[i].Values[0] != tbl.Entities[i].Values[0] ||
+				got.Entities[i].Values[1] != tbl.Entities[i].Values[1] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package table provides the relational-table substrate for multi-table
+// entity matching: entities as ordered (attribute, value) records, tables
+// with a shared schema, serialization of entities into text sequences
+// (§II-B of the paper), and CSV import/export.
+//
+// Every entity carries a globally unique ID assigned at load/creation time;
+// all downstream stages (embedding, merging, pruning, evaluation) refer to
+// entities by this ID, so tables can be merged and re-partitioned without
+// copying record payloads.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entity is one record: an ordered list of attribute values under a Schema,
+// plus identity metadata. Values are aligned with the owning table's schema;
+// missing values are empty strings.
+type Entity struct {
+	// ID is a globally unique identifier across all tables of a dataset.
+	ID int
+	// Source is the index of the table (data source) the entity came from.
+	Source int
+	// Values holds one value per schema attribute, in schema order.
+	Values []string
+}
+
+// Value returns the value for attribute position j, or "" when out of range.
+func (e *Entity) Value(j int) string {
+	if j < 0 || j >= len(e.Values) {
+		return ""
+	}
+	return e.Values[j]
+}
+
+// Schema is an ordered list of attribute names shared by all tables in a
+// dataset (the paper assumes aligned schemas across sources).
+type Schema struct {
+	Attrs []string
+}
+
+// NewSchema builds a schema from attribute names.
+func NewSchema(attrs ...string) Schema {
+	return Schema{Attrs: append([]string(nil), attrs...)}
+}
+
+// Len returns the number of attributes.
+func (s Schema) Len() int { return len(s.Attrs) }
+
+// Index returns the position of the named attribute, or -1.
+func (s Schema) Index(name string) int {
+	for i, a := range s.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is a relational table: a schema plus a list of entities.
+type Table struct {
+	// Name identifies the table (e.g. "source-0").
+	Name string
+	// Schema is the attribute list shared with all sibling tables.
+	Schema Schema
+	// Entities are the rows.
+	Entities []*Entity
+}
+
+// New returns an empty table with the given name and schema.
+func New(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// Len returns the number of entities.
+func (t *Table) Len() int { return len(t.Entities) }
+
+// Append adds an entity, padding or truncating its values to the schema
+// width so every row is rectangular.
+func (t *Table) Append(e *Entity) {
+	want := t.Schema.Len()
+	switch {
+	case len(e.Values) < want:
+		padded := make([]string, want)
+		copy(padded, e.Values)
+		e.Values = padded
+	case len(e.Values) > want:
+		e.Values = e.Values[:want]
+	}
+	t.Entities = append(t.Entities, e)
+}
+
+// Serialize converts an entity into the text sequence fed to the encoder,
+// following §II-B: attribute names are omitted and values concatenated with
+// single spaces. Only attributes whose position appears in selected are
+// included; a nil selected means all attributes.
+func Serialize(e *Entity, selected []int) string {
+	var b strings.Builder
+	first := true
+	emit := func(v string) {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v)
+		first = false
+	}
+	if selected == nil {
+		for _, v := range e.Values {
+			emit(v)
+		}
+		return b.String()
+	}
+	for _, j := range selected {
+		emit(e.Value(j))
+	}
+	return b.String()
+}
+
+// Dataset is a set of tables sharing one schema plus the ground truth used
+// for evaluation (when available).
+type Dataset struct {
+	// Name of the benchmark (e.g. "Music-20").
+	Name string
+	// Tables are the S sources.
+	Tables []*Table
+	// Truth lists ground-truth matched tuples as sets of entity IDs. Each
+	// tuple has size >= 2 per Definition 2. Nil when unknown.
+	Truth [][]int
+}
+
+// NumEntities returns the total entity count across all tables.
+func (d *Dataset) NumEntities() int {
+	n := 0
+	for _, t := range d.Tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// NumSources returns the number of tables S.
+func (d *Dataset) NumSources() int { return len(d.Tables) }
+
+// Schema returns the shared schema. It panics on an empty dataset.
+func (d *Dataset) Schema() Schema {
+	if len(d.Tables) == 0 {
+		panic("table: dataset has no tables")
+	}
+	return d.Tables[0].Schema
+}
+
+// AllEntities returns every entity across all tables, ordered by table then
+// row. The slice is freshly allocated.
+func (d *Dataset) AllEntities() []*Entity {
+	out := make([]*Entity, 0, d.NumEntities())
+	for _, t := range d.Tables {
+		out = append(out, t.Entities...)
+	}
+	return out
+}
+
+// EntityByID builds an index from entity ID to entity.
+func (d *Dataset) EntityByID() map[int]*Entity {
+	m := make(map[int]*Entity, d.NumEntities())
+	for _, t := range d.Tables {
+		for _, e := range t.Entities {
+			m[e.ID] = e
+		}
+	}
+	return m
+}
+
+// Validate checks structural invariants: aligned schemas, rectangular rows,
+// unique IDs, and truth tuples of size >= 2 referencing known IDs.
+func (d *Dataset) Validate() error {
+	if len(d.Tables) == 0 {
+		return fmt.Errorf("table: dataset %q has no tables", d.Name)
+	}
+	schema := d.Tables[0].Schema
+	seen := make(map[int]bool, d.NumEntities())
+	for ti, t := range d.Tables {
+		if !t.Schema.Equal(schema) {
+			return fmt.Errorf("table: table %d schema %v differs from %v", ti, t.Schema.Attrs, schema.Attrs)
+		}
+		for ri, e := range t.Entities {
+			if len(e.Values) != schema.Len() {
+				return fmt.Errorf("table: table %d row %d has %d values, want %d", ti, ri, len(e.Values), schema.Len())
+			}
+			if seen[e.ID] {
+				return fmt.Errorf("table: duplicate entity ID %d", e.ID)
+			}
+			seen[e.ID] = true
+		}
+	}
+	for i, tuple := range d.Truth {
+		if len(tuple) < 2 {
+			return fmt.Errorf("table: truth tuple %d has size %d < 2", i, len(tuple))
+		}
+		for _, id := range tuple {
+			if !seen[id] {
+				return fmt.Errorf("table: truth tuple %d references unknown entity %d", i, id)
+			}
+		}
+	}
+	return nil
+}
+
+// NumTruthPairs returns the number of matched pairs implied by the truth
+// tuples: sum over tuples of C(l, 2).
+func (d *Dataset) NumTruthPairs() int {
+	n := 0
+	for _, tuple := range d.Truth {
+		l := len(tuple)
+		n += l * (l - 1) / 2
+	}
+	return n
+}
+
+// SortTuple orders a tuple's IDs ascending in place and returns it; tuples
+// are treated as sets throughout the system, and canonical ordering makes
+// them comparable.
+func SortTuple(tuple []int) []int {
+	sort.Ints(tuple)
+	return tuple
+}
+
+// TupleKey renders a canonical string key for a tuple (IDs sorted,
+// comma-joined). Used to compare predicted and truth tuples exactly.
+func TupleKey(tuple []int) string {
+	sorted := append([]int(nil), tuple...)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for i, id := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}

@@ -1,0 +1,313 @@
+package table
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDataset() *Dataset {
+	schema := NewSchema("title", "artist", "album")
+	t0 := New("source-0", schema)
+	t0.Append(&Entity{ID: 0, Source: 0, Values: []string{"megna's", "tim o'brien", "chameleon"}})
+	t0.Append(&Entity{ID: 1, Source: 0, Values: []string{"song b", "artist b", "album b"}})
+	t1 := New("source-1", schema)
+	t1.Append(&Entity{ID: 2, Source: 1, Values: []string{"megnas", "tim obrien", "chameleon"}})
+	return &Dataset{
+		Name:   "sample",
+		Tables: []*Table{t0, t1},
+		Truth:  [][]int{{0, 2}},
+	}
+}
+
+func TestSerializeAllAttrs(t *testing.T) {
+	e := &Entity{Values: []string{"apple iphone 8", "silver", ""}}
+	got := Serialize(e, nil)
+	if got != "apple iphone 8 silver" {
+		t.Fatalf("Serialize = %q", got)
+	}
+}
+
+func TestSerializeSelected(t *testing.T) {
+	e := &Entity{Values: []string{"id123", "apple iphone", "silver"}}
+	got := Serialize(e, []int{1, 2})
+	if got != "apple iphone silver" {
+		t.Fatalf("Serialize selected = %q", got)
+	}
+}
+
+func TestSerializeEmptyAndWhitespace(t *testing.T) {
+	e := &Entity{Values: []string{"  ", "", "x"}}
+	if got := Serialize(e, nil); got != "x" {
+		t.Fatalf("Serialize = %q, want \"x\"", got)
+	}
+	if got := Serialize(&Entity{}, nil); got != "" {
+		t.Fatalf("Serialize empty entity = %q", got)
+	}
+}
+
+func TestSerializeOutOfRangeSelected(t *testing.T) {
+	e := &Entity{Values: []string{"a"}}
+	if got := Serialize(e, []int{0, 5}); got != "a" {
+		t.Fatalf("Serialize with out-of-range index = %q", got)
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := NewSchema("a", "b", "c")
+	if s.Index("b") != 1 {
+		t.Fatal("Index(b) != 1")
+	}
+	if s.Index("zzz") != -1 {
+		t.Fatal("Index of missing attr must be -1")
+	}
+	if s.Len() != 3 {
+		t.Fatal("Len != 3")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := NewSchema("x", "y")
+	b := NewSchema("x", "y")
+	c := NewSchema("x")
+	d := NewSchema("x", "z")
+	if !a.Equal(b) {
+		t.Fatal("identical schemas must be equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Fatal("different schemas must not be equal")
+	}
+}
+
+func TestAppendPadsAndTruncates(t *testing.T) {
+	tbl := New("t", NewSchema("a", "b"))
+	tbl.Append(&Entity{ID: 1, Values: []string{"only"}})
+	tbl.Append(&Entity{ID: 2, Values: []string{"x", "y", "z"}})
+	if len(tbl.Entities[0].Values) != 2 || tbl.Entities[0].Values[1] != "" {
+		t.Fatal("short row must be padded")
+	}
+	if len(tbl.Entities[1].Values) != 2 {
+		t.Fatal("long row must be truncated")
+	}
+}
+
+func TestEntityValueOutOfRange(t *testing.T) {
+	e := &Entity{Values: []string{"v"}}
+	if e.Value(-1) != "" || e.Value(3) != "" {
+		t.Fatal("out-of-range Value must return empty")
+	}
+	if e.Value(0) != "v" {
+		t.Fatal("Value(0) wrong")
+	}
+}
+
+func TestDatasetCounts(t *testing.T) {
+	d := sampleDataset()
+	if d.NumEntities() != 3 {
+		t.Fatalf("NumEntities = %d", d.NumEntities())
+	}
+	if d.NumSources() != 2 {
+		t.Fatalf("NumSources = %d", d.NumSources())
+	}
+	if d.NumTruthPairs() != 1 {
+		t.Fatalf("NumTruthPairs = %d", d.NumTruthPairs())
+	}
+}
+
+func TestNumTruthPairsBiggerTuple(t *testing.T) {
+	d := &Dataset{Truth: [][]int{{1, 2, 3, 4}}}
+	if d.NumTruthPairs() != 6 {
+		t.Fatalf("C(4,2) = %d, want 6", d.NumTruthPairs())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleDataset().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesDuplicateIDs(t *testing.T) {
+	d := sampleDataset()
+	d.Tables[1].Entities[0].ID = 0
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-ID error, got %v", err)
+	}
+}
+
+func TestValidateCatchesSchemaMismatch(t *testing.T) {
+	d := sampleDataset()
+	d.Tables[1].Schema = NewSchema("other")
+	if err := d.Validate(); err == nil {
+		t.Fatal("want schema mismatch error")
+	}
+}
+
+func TestValidateCatchesBadTruth(t *testing.T) {
+	d := sampleDataset()
+	d.Truth = append(d.Truth, []int{99, 100})
+	if err := d.Validate(); err == nil {
+		t.Fatal("want unknown-entity error")
+	}
+	d = sampleDataset()
+	d.Truth = [][]int{{1}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("want tuple-size error")
+	}
+}
+
+func TestValidateEmptyDataset(t *testing.T) {
+	d := &Dataset{Name: "empty"}
+	if err := d.Validate(); err == nil {
+		t.Fatal("want error for empty dataset")
+	}
+}
+
+func TestEntityByID(t *testing.T) {
+	d := sampleDataset()
+	m := d.EntityByID()
+	if len(m) != 3 || m[2].Values[0] != "megnas" {
+		t.Fatalf("EntityByID wrong: %v", m)
+	}
+}
+
+func TestAllEntitiesOrder(t *testing.T) {
+	d := sampleDataset()
+	all := d.AllEntities()
+	if len(all) != 3 || all[0].ID != 0 || all[2].ID != 2 {
+		t.Fatal("AllEntities must preserve table order")
+	}
+}
+
+func TestTupleKeyCanonical(t *testing.T) {
+	if TupleKey([]int{3, 1, 2}) != TupleKey([]int{2, 3, 1}) {
+		t.Fatal("TupleKey must be order independent")
+	}
+	if TupleKey([]int{1, 2}) == TupleKey([]int{1, 3}) {
+		t.Fatal("different tuples must differ")
+	}
+	if TupleKey([]int{10, 2}) != "2,10" {
+		t.Fatalf("key = %q", TupleKey([]int{10, 2}))
+	}
+}
+
+func TestTupleKeyDoesNotMutate(t *testing.T) {
+	tuple := []int{3, 1}
+	TupleKey(tuple)
+	if tuple[0] != 3 {
+		t.Fatal("TupleKey must not mutate its argument")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := d.Tables[0].WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("source-0", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip lost rows: %d", got.Len())
+	}
+	if !got.Schema.Equal(d.Tables[0].Schema) {
+		t.Fatal("schema not preserved")
+	}
+	if got.Entities[0].ID != 0 || got.Entities[0].Source != 0 {
+		t.Fatal("identity not preserved")
+	}
+	if got.Entities[0].Values[0] != "megna's" {
+		t.Fatalf("value not preserved: %q", got.Entities[0].Values[0])
+	}
+}
+
+func TestCSVHandlesCommasAndQuotes(t *testing.T) {
+	tbl := New("t", NewSchema("title"))
+	tbl.Append(&Entity{ID: 7, Source: 3, Values: []string{`tricky, "quoted" value`}})
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entities[0].Values[0] != `tricky, "quoted" value` {
+		t.Fatalf("got %q", got.Entities[0].Values[0])
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	_, err := ReadCSV("x", strings.NewReader("a,b\n1,2\n"))
+	if err == nil {
+		t.Fatal("want header error")
+	}
+}
+
+func TestReadCSVRejectsBadID(t *testing.T) {
+	_, err := ReadCSV("x", strings.NewReader("_id,_src,a\nnotint,0,v\n"))
+	if err == nil {
+		t.Fatal("want bad-id error")
+	}
+}
+
+func TestSaveLoadDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	d := sampleDataset()
+	if err := SaveDataset(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSources() != 2 || got.NumEntities() != 3 {
+		t.Fatalf("load mismatch: %d sources %d entities", got.NumSources(), got.NumEntities())
+	}
+	if len(got.Truth) != 1 || got.Truth[0][0] != 0 || got.Truth[0][1] != 2 {
+		t.Fatalf("truth mismatch: %v", got.Truth)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDatasetMissingDir(t *testing.T) {
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for missing dir")
+	}
+}
+
+func TestLoadDatasetNoSources(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadDataset(dir); err == nil {
+		t.Fatal("want error for dir without sources")
+	}
+}
+
+func TestSourceOrderingStable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	schema := NewSchema("a")
+	d := &Dataset{Name: "many"}
+	for i := 0; i < 12; i++ {
+		tbl := New("t", schema)
+		tbl.Append(&Entity{ID: i, Source: i, Values: []string{"v"}})
+		d.Tables = append(d.Tables, tbl)
+	}
+	if err := SaveDataset(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// source-10 must sort after source-2 (numeric, not lexicographic).
+	for i, tbl := range got.Tables {
+		if tbl.Entities[0].Source != i {
+			t.Fatalf("table %d holds source %d; numeric ordering broken", i, tbl.Entities[0].Source)
+		}
+	}
+}

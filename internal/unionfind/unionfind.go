@@ -1,0 +1,88 @@
+// Package unionfind provides a disjoint-set forest with union by rank and
+// path compression. The merging phase uses it to aggregate matched pairs
+// into tuples by transitivity (Alg. 3 line 8): if A matches B and B matches
+// C, the three end up in one set.
+package unionfind
+
+import "sort"
+
+// UF is a disjoint-set forest over arbitrary int ids (ids need not be dense;
+// sets are created lazily on first use).
+type UF struct {
+	parent map[int]int
+	rank   map[int]int
+	count  int // number of distinct sets
+}
+
+// New returns an empty forest.
+func New() *UF {
+	return &UF{parent: make(map[int]int), rank: make(map[int]int)}
+}
+
+// Add ensures id has a set, creating a singleton when unseen.
+func (u *UF) Add(id int) {
+	if _, ok := u.parent[id]; !ok {
+		u.parent[id] = id
+		u.count++
+	}
+}
+
+// Find returns the canonical representative of id's set, adding id as a
+// singleton if unseen.
+func (u *UF) Find(id int) int {
+	u.Add(id)
+	root := id
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for u.parent[id] != root {
+		u.parent[id], id = root, u.parent[id]
+	}
+	return root
+}
+
+// Union merges the sets of a and b, returning the resulting root.
+func (u *UF) Union(a, b int) int {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return ra
+}
+
+// Same reports whether a and b are in one set.
+func (u *UF) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Count returns the number of distinct sets.
+func (u *UF) Count() int { return u.count }
+
+// Len returns the number of tracked ids.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Sets returns all sets with at least minSize members, each sorted
+// ascending, ordered by their smallest member for determinism.
+func (u *UF) Sets(minSize int) [][]int {
+	groups := make(map[int][]int)
+	for id := range u.parent {
+		root := u.Find(id)
+		groups[root] = append(groups[root], id)
+	}
+	var out [][]int
+	for _, members := range groups {
+		if len(members) >= minSize {
+			sort.Ints(members)
+			out = append(out, members)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,145 @@
+package vector
+
+import "sort"
+
+// Neighbor is a search result: an item index with its distance from the
+// query. Smaller Dist means closer.
+type Neighbor struct {
+	ID   int
+	Dist float32
+}
+
+// TopK accumulates the K smallest-distance neighbours seen so far. It is a
+// bounded max-heap keyed on distance: the root is the current worst kept
+// neighbour, so a new candidate only displaces it when strictly closer.
+//
+// The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor // max-heap on Dist
+}
+
+// NewTopK returns an accumulator keeping the k nearest neighbours.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("vector: TopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Len reports how many neighbours are currently held (≤ k).
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k neighbours are held.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Worst returns the largest kept distance. It panics when empty.
+func (t *TopK) Worst() float32 { return t.heap[0].Dist }
+
+// Push offers a candidate. It returns true if the candidate was kept.
+func (t *TopK) Push(id int, dist float32) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
+		t.up(len(t.heap) - 1)
+		return true
+	}
+	if dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Neighbor{ID: id, Dist: dist}
+	t.down(0)
+	return true
+}
+
+// Results returns the kept neighbours ordered by increasing distance, with
+// ties broken by increasing ID for determinism. The accumulator is left
+// empty afterwards.
+func (t *TopK) Results() []Neighbor {
+	out := t.heap
+	t.heap = nil
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// MinHeap is an unbounded min-heap of Neighbors keyed on distance, used as
+// the candidate frontier in graph-based search.
+type MinHeap struct {
+	heap []Neighbor
+}
+
+// Len reports the number of held neighbours.
+func (h *MinHeap) Len() int { return len(h.heap) }
+
+// Push adds a neighbour.
+func (h *MinHeap) Push(n Neighbor) {
+	h.heap = append(h.heap, n)
+	i := len(h.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.heap[parent].Dist <= h.heap[i].Dist {
+			break
+		}
+		h.heap[parent], h.heap[i] = h.heap[i], h.heap[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the closest neighbour. It panics when empty.
+func (h *MinHeap) Pop() Neighbor {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.heap = h.heap[:last]
+	i, n := 0, len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.heap[l].Dist < h.heap[smallest].Dist {
+			smallest = l
+		}
+		if r < n && h.heap[r].Dist < h.heap[smallest].Dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.heap[i], h.heap[smallest] = h.heap[smallest], h.heap[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,181 @@
+// Package vector provides float32 vector math primitives used throughout the
+// MultiEM pipeline: dot products, cosine and euclidean distances,
+// normalization, and small fixed-size top-K accumulators.
+//
+// All distance functions treat vectors of unequal lengths as a programming
+// error and panic; embeddings in this repository always share a single
+// dimensionality fixed by the encoder.
+package vector
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. The 4-way unrolled loop with an
+// explicit re-slice (bounds-check elimination) matters: this function
+// dominates HNSW construction and search cost.
+func Dot(a, b []float32) float32 {
+	assertSameLen(a, b)
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm of a.
+func Norm(a []float32) float32 {
+	var s float32
+	for _, v := range a {
+		s += v * v
+	}
+	return float32(math.Sqrt(float64(s)))
+}
+
+// Normalize scales a in place to unit L2 norm and returns it. The zero
+// vector is returned unchanged.
+func Normalize(a []float32) []float32 {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+	return a
+}
+
+// Normalized returns a fresh unit-norm copy of a.
+func Normalized(a []float32) []float32 {
+	out := make([]float32, len(a))
+	copy(out, a)
+	return Normalize(out)
+}
+
+// CosineSim returns the cosine similarity of a and b in [-1, 1]. If either
+// vector is zero the similarity is defined as 0.
+func CosineSim(a, b []float32) float32 {
+	assertSameLen(a, b)
+	var dot, na, nb float32
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / float32(math.Sqrt(float64(na))*math.Sqrt(float64(nb)))
+}
+
+// CosineDist returns 1 - CosineSim(a, b), the cosine distance in [0, 2].
+func CosineDist(a, b []float32) float32 {
+	return 1 - CosineSim(a, b)
+}
+
+// EuclideanDist returns the L2 distance between a and b.
+func EuclideanDist(a, b []float32) float32 {
+	return float32(math.Sqrt(float64(SquaredDist(a, b))))
+}
+
+// SquaredDist returns the squared L2 distance between a and b. It is cheaper
+// than EuclideanDist and order-equivalent, so index internals prefer it.
+func SquaredDist(a, b []float32) float32 {
+	assertSameLen(a, b)
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Add accumulates src into dst element-wise.
+func Add(dst, src []float32) {
+	assertSameLen(dst, src)
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Scale multiplies every element of a by c in place.
+func Scale(a []float32, c float32) {
+	for i := range a {
+		a[i] *= c
+	}
+}
+
+// Mean returns the element-wise mean of vecs. It panics if vecs is empty or
+// dimensions disagree.
+func Mean(vecs [][]float32) []float32 {
+	if len(vecs) == 0 {
+		panic("vector: Mean of zero vectors")
+	}
+	out := make([]float32, len(vecs[0]))
+	for _, v := range vecs {
+		Add(out, v)
+	}
+	Scale(out, 1/float32(len(vecs)))
+	return out
+}
+
+func assertSameLen(a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// Metric identifies a distance function over embeddings.
+type Metric int
+
+const (
+	// Cosine is cosine distance (1 - cosine similarity). Used by the
+	// merging phase, matching the paper's §IV-A.
+	Cosine Metric = iota
+	// Euclidean is L2 distance. Used by the pruning phase.
+	Euclidean
+	// CosineUnit is cosine distance specialized to unit-norm (or zero)
+	// vectors: 1 - dot(a, b). Identical to Cosine on such inputs at a
+	// third of the arithmetic; the pipeline uses it because the encoder
+	// guarantees unit-norm embeddings and merging normalizes centroids.
+	CosineUnit
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Euclidean:
+		return "euclidean"
+	case CosineUnit:
+		return "cosine-unit"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Dist evaluates the metric between a and b.
+func (m Metric) Dist(a, b []float32) float32 {
+	switch m {
+	case Cosine:
+		return CosineDist(a, b)
+	case Euclidean:
+		return EuclideanDist(a, b)
+	case CosineUnit:
+		return 1 - Dot(a, b)
+	default:
+		panic("vector: unknown metric " + m.String())
+	}
+}

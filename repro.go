@@ -1,0 +1,108 @@
+// Package repro is the public API of this reproduction of
+//
+//	MultiEM: Efficient and Effective Unsupervised Multi-Table Entity
+//	Matching (Zeng et al., ICDE 2024; arXiv:2308.01927)
+//
+// It exposes the complete pipeline — enhanced entity representation with
+// automated attribute selection, table-wise hierarchical merging over a
+// from-scratch HNSW index, and density-based pruning — plus dataset loading,
+// synthetic benchmark generation, and evaluation metrics.
+//
+// Quickstart:
+//
+//	d, _ := repro.GenerateDataset("Music-20", 0.1, 1)
+//	res, _ := repro.Match(d, repro.DefaultOptions())
+//	rep := repro.Evaluate(res.Tuples, d.Truth)
+//	fmt.Printf("F1 %.3f  pair-F1 %.3f\n", rep.Tuple.F1, rep.Pair.F1)
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package repro
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/multiem"
+	"repro/internal/table"
+)
+
+// Core data model.
+type (
+	// Dataset is a set of relational tables with shared schema plus
+	// optional ground truth.
+	Dataset = table.Dataset
+	// Table is one relational source table.
+	Table = table.Table
+	// Entity is one record.
+	Entity = table.Entity
+	// Schema is the shared attribute list.
+	Schema = table.Schema
+)
+
+// Pipeline configuration and results.
+type (
+	// Options holds the MultiEM hyperparameters (§IV-A defaults via
+	// DefaultOptions).
+	Options = multiem.Options
+	// Result is the pipeline output: predicted tuples, selected
+	// attributes, and per-phase timings.
+	Result = multiem.Result
+	// AttrScore is a per-attribute significance diagnostic (Table VII).
+	AttrScore = multiem.AttrScore
+)
+
+// Evaluation.
+type (
+	// Report bundles tuple-level metrics and pair-F1.
+	Report = eval.Report
+	// Metrics is precision/recall/F1 with raw counts.
+	Metrics = eval.Metrics
+)
+
+// Encoder is the text-embedding interface; NewEncoder returns the default
+// hashed n-gram encoder standing in for Sentence-BERT.
+type Encoder = embed.Encoder
+
+// NewSchema builds a schema from attribute names.
+func NewSchema(attrs ...string) Schema { return table.NewSchema(attrs...) }
+
+// NewTable returns an empty table.
+func NewTable(name string, schema Schema) *Table { return table.New(name, schema) }
+
+// DefaultOptions mirrors the paper's §IV-A settings.
+func DefaultOptions() Options { return multiem.DefaultOptions() }
+
+// NewEncoder returns the default deterministic entity encoder.
+func NewEncoder() Encoder { return embed.NewHashEncoder() }
+
+// Match runs the full MultiEM pipeline on a dataset.
+func Match(d *Dataset, opt Options) (*Result, error) { return multiem.Run(d, opt) }
+
+// SelectAttributes runs only Phase I (Algorithm 1), returning per-attribute
+// significance scores and the selected schema positions.
+func SelectAttributes(d *Dataset, opt Options) ([]AttrScore, []int) {
+	return multiem.SelectAttributes(d, opt)
+}
+
+// Evaluate scores predicted tuples against ground truth with both the
+// strict tuple metric and pair-F1 (§IV-A).
+func Evaluate(pred, truth [][]int) Report { return eval.Evaluate(pred, truth) }
+
+// LoadDataset reads a dataset directory (source-*.csv plus optional
+// truth.csv) written by SaveDataset or cmd/datagen.
+func LoadDataset(dir string) (*Dataset, error) { return table.LoadDataset(dir) }
+
+// SaveDataset writes a dataset as CSVs into dir.
+func SaveDataset(d *Dataset, dir string) error { return table.SaveDataset(d, dir) }
+
+// GenerateDataset synthesizes one of the six benchmark families of Table
+// III ("Geo", "Music-20", "Music-200", "Music-2000", "Person", "Shopee") at
+// the given scale in (0, 1] with a fixed seed.
+func GenerateDataset(name string, scale float64, seed int64) (*Dataset, error) {
+	return datagen.GenerateByName(name, scale, seed)
+}
+
+// DatasetNames lists the available benchmark families.
+func DatasetNames() []string {
+	return []string{"Geo", "Music-20", "Music-200", "Music-2000", "Person", "Shopee"}
+}

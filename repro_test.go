@@ -1,0 +1,99 @@
+package repro_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	d, err := repro.GenerateDataset("Geo", 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	res, err := repro.Match(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repro.Evaluate(res.Tuples, d.Truth)
+	if rep.Tuple.F1 < 0.5 {
+		t.Fatalf("facade F1 = %.3f", rep.Tuple.F1)
+	}
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	d, err := repro.GenerateDataset("Shopee", 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := repro.SaveDataset(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEntities() != d.NumEntities() || len(got.Truth) != len(d.Truth) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestFacadeAttrSelection(t *testing.T) {
+	d, err := repro.GenerateDataset("Music-20", 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, sel := repro.SelectAttributes(d, repro.DefaultOptions())
+	if len(scores) != 8 {
+		t.Fatalf("Music has 8 attributes, scored %d", len(scores))
+	}
+	if len(sel) == 0 {
+		t.Fatal("selection must not be empty")
+	}
+}
+
+func TestFacadeManualTables(t *testing.T) {
+	schema := repro.NewSchema("title", "color")
+	a := repro.NewTable("shop-a", schema)
+	a.Append(&repro.Entity{ID: 0, Source: 0, Values: []string{"apple iphone 8 plus 64gb", "silver"}})
+	a.Append(&repro.Entity{ID: 1, Source: 0, Values: []string{"samsung galaxy s10", "black"}})
+	b := repro.NewTable("shop-b", schema)
+	b.Append(&repro.Entity{ID: 2, Source: 1, Values: []string{"apple iphone 8 plus 5.5 64gb unlocked", "silver"}})
+	b.Append(&repro.Entity{ID: 3, Source: 1, Values: []string{"sony bravia 55 inch tv", ""}})
+	d := &repro.Dataset{Name: "manual", Tables: []*repro.Table{a, b}}
+
+	opt := repro.DefaultOptions()
+	opt.M = 0.6
+	opt.DisableAttrSelect = true // two rows is too few to estimate significance
+	res, err := repro.Match(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 || res.Tuples[0][0] != 0 || res.Tuples[0][1] != 2 {
+		t.Fatalf("expected the iPhone pair, got %v", res.Tuples)
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := repro.DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("want 6 datasets, got %v", names)
+	}
+	for _, n := range names {
+		if _, err := repro.GenerateDataset(n, 0.002, 1); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestEncoderExposed(t *testing.T) {
+	enc := repro.NewEncoder()
+	v := enc.Encode("hello world")
+	if len(v) != enc.Dim() {
+		t.Fatal("encoder dim mismatch")
+	}
+}
