@@ -1,0 +1,32 @@
+# Single source of truth for the commands CI runs, so humans and the
+# workflow can't drift apart.
+
+GO ?= go
+
+.PHONY: all build vet fmt test race bench bench-smoke
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; CI uses `gofmt -l` as a read-only gate (see ci.yml).
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One iteration per benchmark: proves the bench harness still compiles and
+# runs without paying for stable numbers.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

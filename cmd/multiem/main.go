@@ -3,10 +3,14 @@
 // or on a named synthetic benchmark, and prints the predicted tuples and —
 // when ground truth is available — the evaluation metrics.
 //
+// With -save-index the run's full matcher state (embeddings, tuples, and the
+// HNSW centroid index) is written to disk for cmd/server to load and serve.
+//
 // Usage:
 //
 //	multiem -data ./geo-dir [flags]
 //	multiem -dataset Geo -scale 0.5 [flags]
+//	multiem -dataset Geo -save-index matcher.bin
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 		noEER    = flag.Bool("no-eer", false, "disable attribute selection (w/o EER)")
 		noDP     = flag.Bool("no-dp", false, "disable pruning (w/o DP)")
 		showN    = flag.Int("show", 10, "number of predicted tuples to print")
+		saveIdx  = flag.String("save-index", "", "write the matcher (index + tuples) here for cmd/server")
 	)
 	flag.Parse()
 
@@ -55,10 +60,28 @@ func main() {
 	opt.Seed = *seed
 
 	fmt.Printf("dataset %s: %d sources, %d entities\n", d.Name, d.NumSources(), d.NumEntities())
-	res, err := repro.Match(d, opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "multiem:", err)
-		os.Exit(1)
+	var res *repro.Result
+	if *saveIdx != "" {
+		// Build the servable matcher so the run can be persisted for
+		// cmd/server; its Result is the same pipeline output.
+		matcher, err := repro.BuildMatcher(d, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "multiem:", err)
+			os.Exit(1)
+		}
+		if err := repro.SaveMatcherFile(matcher, *saveIdx); err != nil {
+			fmt.Fprintln(os.Stderr, "multiem:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved matcher to %s\n", *saveIdx)
+		res = matcher.Result()
+	} else {
+		var err error
+		res, err = repro.Match(d, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "multiem:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("selected attributes: %v\n", res.SelectedNames)

@@ -1,0 +1,117 @@
+// Command server exposes the MultiEM online matching subsystem as an HTTP
+// JSON service. At startup it either loads a matcher saved by cmd/multiem
+// (-load-index) or runs the full pipeline on a dataset (-data / -dataset),
+// then answers concurrent queries:
+//
+//	POST /match   {"values": ["paris", "2.35", "48.85"], "k": 3}
+//	POST /add     {"records": [["paris", "2.35", "48.85"]]}
+//	GET  /stats
+//	GET  /healthz
+//
+// Usage:
+//
+//	server -dataset Geo -scale 0.3 -addr :8080
+//	server -load-index matcher.bin -save-index matcher.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		loadIndex = flag.String("load-index", "", "load a matcher saved by cmd/multiem or -save-index")
+		saveIndex = flag.String("save-index", "", "save the matcher after startup (and after building)")
+		dataDir   = flag.String("data", "", "dataset directory (source-*.csv [+ truth.csv])")
+		dataset   = flag.String("dataset", "", "synthetic benchmark name (Geo, Music-20, ...)")
+		scale     = flag.Float64("scale", 0.1, "generation scale for -dataset")
+		seed      = flag.Int64("seed", 1, "random seed")
+		k         = flag.Int("k", 1, "mutual top-K width")
+		m         = flag.Float64("m", 0.5, "merge distance threshold (cosine)")
+		parallel  = flag.Bool("parallel", true, "build with MultiEM(parallel)")
+	)
+	flag.Parse()
+
+	opt := repro.DefaultOptions()
+	opt.K = *k
+	opt.M = float32(*m)
+	opt.Parallel = *parallel
+	opt.Seed = *seed
+
+	matcher, err := loadOrBuild(*loadIndex, *dataDir, *dataset, *scale, *seed, opt)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	if *saveIndex != "" {
+		if err := repro.SaveMatcherFile(matcher, *saveIndex); err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		log.Printf("saved matcher to %s", *saveIndex)
+	}
+
+	st := matcher.Stats()
+	log.Printf("serving %d entities in %d tuples (%d matched, %d singletons) over attrs %v",
+		st.Entities, st.Tuples, st.Matched, st.Singletons, st.Attrs)
+	log.Printf("listening on %s", *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(matcher),
+		// Bound slow clients: without these a stalled connection pins a
+		// goroutine forever (slowloris).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("server: %v", err)
+	}
+}
+
+// loadOrBuild resolves the startup matcher: a saved index when -load-index
+// is set, otherwise a fresh pipeline run over the requested dataset.
+func loadOrBuild(loadIndex, dataDir, dataset string, scale float64, seed int64, opt repro.Options) (*repro.Matcher, error) {
+	if loadIndex != "" {
+		if dataDir != "" || dataset != "" {
+			return nil, fmt.Errorf("use either -load-index or a dataset source, not both")
+		}
+		m, err := repro.LoadMatcherFile(loadIndex, opt)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded matcher from %s", loadIndex)
+		return m, nil
+	}
+
+	var (
+		d   *repro.Dataset
+		err error
+	)
+	switch {
+	case dataDir != "" && dataset != "":
+		return nil, fmt.Errorf("use either -data or -dataset, not both")
+	case dataDir != "":
+		d, err = repro.LoadDataset(dataDir)
+	case dataset != "":
+		d, err = repro.GenerateDataset(dataset, scale, seed)
+	default:
+		return nil, fmt.Errorf("one of -load-index, -data or -dataset is required")
+	}
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("building matcher: dataset %s, %d sources, %d entities", d.Name, d.NumSources(), d.NumEntities())
+	m, err := repro.BuildMatcher(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("pipeline done in %v", m.Result().Timings.Total.Round(1e6))
+	return m, nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// maxBodyBytes bounds request bodies; match/add payloads are small records,
+// not bulk uploads.
+const maxBodyBytes = 8 << 20
+
+// server exposes a repro.Matcher over HTTP. All handlers speak JSON. Match
+// traffic runs concurrently (the matcher takes a read lock); ingestion
+// serializes behind its write lock.
+type server struct {
+	m     *repro.Matcher
+	start time.Time
+}
+
+// newHandler builds the route table for a matcher.
+func newHandler(m *repro.Matcher) http.Handler {
+	s := &server{m: m, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /match", s.handleMatch)
+	mux.HandleFunc("POST /add", s.handleAdd)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type matchRequest struct {
+	// Values is the record, ordered by the matcher's schema.
+	Values []string `json:"values"`
+	// K is the number of candidate tuples wanted (default 1).
+	K int `json:"k"`
+}
+
+type matchResponse struct {
+	Candidates []repro.Candidate `json:"candidates"`
+}
+
+type addRequest struct {
+	Records [][]string `json:"records"`
+}
+
+type addResponse struct {
+	Results []repro.AddResult `json:"results"`
+}
+
+type statsResponse struct {
+	repro.MatcherStats
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req matchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, "values is required")
+		return
+	}
+	cands, err := s.m.Match(req.Values, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if cands == nil {
+		cands = []repro.Candidate{} // encode as [], not null
+	}
+	writeJSON(w, http.StatusOK, matchResponse{Candidates: cands})
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		writeError(w, http.StatusBadRequest, "records is required")
+		return
+	}
+	results, err := s.m.AddRecords(req.Records)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, addResponse{Results: results})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		MatcherStats:  s.m.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decode parses a JSON request body into dst, writing a 400 and returning
+// false on malformed input.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("server: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

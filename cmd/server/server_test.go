@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func testMatcher(t *testing.T) (*repro.Matcher, *repro.Dataset) {
+	t.Helper()
+	d, err := repro.GenerateDataset("Geo", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	m, err := repro.BuildMatcher(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeBody[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var out T
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decode %q: %v", w.Body.String(), err)
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	m, _ := testMatcher(t)
+	h := newHandler(m)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	if got := decodeBody[map[string]string](t, w); got["status"] != "ok" {
+		t.Fatalf("healthz body %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m, d := testMatcher(t)
+	h := newHandler(m)
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status %d: %s", w.Code, w.Body)
+	}
+	got := decodeBody[statsResponse](t, w)
+	if got.Entities != d.NumEntities() {
+		t.Fatalf("stats entities %d, want %d", got.Entities, d.NumEntities())
+	}
+	if got.Matched == 0 || len(got.Attrs) == 0 {
+		t.Fatalf("stats look empty: %+v", got)
+	}
+}
+
+// TestMatchKnownDuplicate: a /match request for a record the pipeline placed
+// in a tuple must return that tuple first.
+func TestMatchKnownDuplicate(t *testing.T) {
+	m, d := testMatcher(t)
+	h := newHandler(m)
+	byID := d.EntityByID()
+	id := m.Result().Tuples[0][0]
+
+	w := postJSON(t, h, "/match", matchRequest{Values: byID[id].Values, K: 3})
+	if w.Code != http.StatusOK {
+		t.Fatalf("match status %d: %s", w.Code, w.Body)
+	}
+	got := decodeBody[matchResponse](t, w)
+	if len(got.Candidates) == 0 {
+		t.Fatal("no candidates for a known duplicate")
+	}
+	found := false
+	for _, eid := range got.Candidates[0].EntityIDs {
+		if eid == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("top candidate %+v does not contain entity %d", got.Candidates[0], id)
+	}
+}
+
+func TestAddThenMatch(t *testing.T) {
+	m, d := testMatcher(t)
+	h := newHandler(m)
+	byID := d.EntityByID()
+	id := m.Result().Tuples[0][0]
+	values := byID[id].Values
+
+	w := postJSON(t, h, "/add", addRequest{Records: [][]string{values}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("add status %d: %s", w.Code, w.Body)
+	}
+	added := decodeBody[addResponse](t, w)
+	if len(added.Results) != 1 || !added.Results[0].Absorbed {
+		t.Fatalf("add results %+v, want one absorbed record", added.Results)
+	}
+
+	w = postJSON(t, h, "/match", matchRequest{Values: values, K: 1})
+	got := decodeBody[matchResponse](t, w)
+	if len(got.Candidates) == 0 || got.Candidates[0].Tuple != added.Results[0].Tuple {
+		t.Fatalf("match after add returned %+v, want tuple %d", got.Candidates, added.Results[0].Tuple)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	m, _ := testMatcher(t)
+	h := newHandler(m)
+
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{http.MethodPost, "/match", `{"values": []}`, http.StatusBadRequest},
+		{http.MethodPost, "/match", `{bad json`, http.StatusBadRequest},
+		{http.MethodPost, "/match", `{"unknown_field": 1}`, http.StatusBadRequest},
+		{http.MethodPost, "/add", `{"records": []}`, http.StatusBadRequest},
+		{http.MethodPost, "/match", `{"values": ["too", "short"]}`, http.StatusBadRequest},
+		{http.MethodPost, "/add", `{"records": [["width", "does", "not", "fit"]]}`, http.StatusBadRequest},
+		{http.MethodGet, "/match", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/nope", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(c.method, c.path, bytes.NewReader([]byte(c.body)))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != c.wantStatus {
+			t.Errorf("%s %s (%q): status %d, want %d", c.method, c.path, c.body, w.Code, c.wantStatus)
+		}
+	}
+}
+
+// TestSaveThenLoadServes is the end-to-end persistence path: a matcher saved
+// to disk (as cmd/multiem -save-index does) is loaded back (as the server's
+// -load-index does) and answers a /match request for a known duplicate.
+func TestSaveThenLoadServes(t *testing.T) {
+	m, d := testMatcher(t)
+	path := filepath.Join(t.TempDir(), "matcher.bin")
+	if err := repro.SaveMatcherFile(m, path); err != nil {
+		t.Fatalf("SaveMatcherFile: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	loaded, err := loadOrBuild(path, "", "", 0, 1, opt)
+	if err != nil {
+		t.Fatalf("loadOrBuild: %v", err)
+	}
+	h := newHandler(loaded)
+
+	byID := d.EntityByID()
+	id := m.Result().Tuples[0][0]
+	w := postJSON(t, h, "/match", matchRequest{Values: byID[id].Values, K: 1})
+	if w.Code != http.StatusOK {
+		t.Fatalf("match status %d: %s", w.Code, w.Body)
+	}
+	got := decodeBody[matchResponse](t, w)
+	if len(got.Candidates) == 0 {
+		t.Fatal("loaded matcher returned no candidates")
+	}
+	found := false
+	for _, eid := range got.Candidates[0].EntityIDs {
+		if eid == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("loaded matcher: top candidate %+v does not contain entity %d", got.Candidates[0], id)
+	}
+}
+
+// TestConcurrentRequests hammers /match from several goroutines while /add
+// ingests, exercising the matcher's read/write locking through the HTTP
+// layer (meaningful under -race).
+func TestConcurrentRequests(t *testing.T) {
+	m, d := testMatcher(t)
+	h := newHandler(m)
+	byID := d.EntityByID()
+	values := byID[m.Result().Tuples[0][0]].Values
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				w := postJSON(t, h, "/match", matchRequest{Values: values, K: 2})
+				if w.Code != http.StatusOK {
+					t.Errorf("match status %d", w.Code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		rows := [][]string{{fmt.Sprintf("fresh-%d zz yy", i), "1.0", "2.0"}}
+		if w := postJSON(t, h, "/add", addRequest{Records: rows}); w.Code != http.StatusOK {
+			t.Fatalf("add status %d", w.Code)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,76 @@
+// Online matching: build a Matcher once from a pipeline run, then serve
+// incremental queries and ingestion without ever re-running the hierarchy —
+// the embedded version of what cmd/server exposes over HTTP.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. One offline pipeline run, wrapped for serving. The matcher keeps
+	//    every entity embedding, the predicted tuples (plus all unmatched
+	//    entities as singletons), and an HNSW index over tuple centroids.
+	d, err := repro.GenerateDataset("Geo", 0.1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	m, err := repro.BuildMatcher(d, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("matcher: %d entities, %d tuples (%d matched, %d singletons), attrs %v\n",
+		st.Entities, st.Tuples, st.Matched, st.Singletons, st.Attrs)
+
+	// 2. Query: which tuple does this record belong to? Use a record the
+	//    pipeline already placed, so the answer is known.
+	byID := d.EntityByID()
+	known := byID[m.Result().Tuples[0][0]]
+	cands, err := m.Match(known.Values, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cands {
+		fmt.Printf("match %v -> tuple %d, entities %v (similarity %.3f, confidence %.2f)\n",
+			known.Values, c.Tuple, c.EntityIDs, c.Similarity, c.Confidence)
+	}
+
+	// 3. Ingest new records incrementally. A near-duplicate of the known
+	//    record is absorbed into its tuple; an unrelated record starts a
+	//    new singleton. Records must match the schema width.
+	atlantis := []string{"atlantis sunken city", "0.0", "0.0"}
+	results, err := m.AddRecords([][]string{known.Values, atlantis})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("add entity %d -> tuple %d (absorbed=%v, distance %.3f)\n",
+			r.EntityID, r.Tuple, r.Absorbed, r.Distance)
+	}
+
+	// 4. The newly added records are immediately matchable.
+	if c, err := m.Match(atlantis, 1); err == nil && len(c) > 0 {
+		fmt.Printf("atlantis now matches its own tuple %d %v\n", c[0].Tuple, c[0].EntityIDs)
+	}
+
+	// 5. Persist and reload — the save/load path cmd/multiem -save-index
+	//    and cmd/server -load-index use, here through a buffer.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	loaded, err := repro.LoadMatcher(&buf, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round-trip: %d bytes, loaded matcher serves %d tuples\n",
+		size, loaded.Stats().Tuples)
+}

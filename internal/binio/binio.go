@@ -1,0 +1,119 @@
+// Package binio provides the little-endian binary framing shared by the
+// repository's serializers (the HNSW index and the online matcher): fixed
+// width integer/float writes into a bufio.Writer, and a sticky-error reader
+// that keeps loading code linear instead of error-checking every field.
+package binio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteU32 writes v little-endian. Write errors surface at Flush, per bufio.
+func WriteU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+// WriteI32 writes v little-endian.
+func WriteI32(w *bufio.Writer, v int32) { WriteU32(w, uint32(v)) }
+
+// WriteI64 writes v little-endian.
+func WriteI64(w *bufio.Writer, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	w.Write(b[:])
+}
+
+// WriteString writes a length-prefixed string.
+func WriteString(w *bufio.Writer, s string) {
+	WriteU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+// WriteF32 writes the IEEE-754 bits of v.
+func WriteF32(w *bufio.Writer, v float32) { WriteU32(w, math.Float32bits(v)) }
+
+// WriteVec writes every element of v.
+func WriteVec(w *bufio.Writer, v []float32) {
+	for _, x := range v {
+		WriteF32(w, x)
+	}
+}
+
+// Reader reads fixed-width little-endian values, remembering the first
+// error; once an error is set every subsequent read returns zero values.
+type Reader struct {
+	br  *bufio.Reader
+	err error
+}
+
+// NewReader wraps br.
+func NewReader(br *bufio.Reader) *Reader { return &Reader{br: br} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		r.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// I32 reads a little-endian int32, widened to int.
+func (r *Reader) I32() int { return int(int32(r.U32())) }
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		r.err = err
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+// F32 reads an IEEE-754 float32.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// Str reads a length-prefixed string, rejecting lengths above maxLen so a
+// corrupt prefix cannot force a huge allocation.
+func (r *Reader) Str(maxLen int) string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if int64(n) > int64(maxLen) {
+		r.err = fmt.Errorf("string length %d exceeds limit %d", n, maxLen)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(b)
+}
+
+// Vec reads dim float32s.
+func (r *Reader) Vec(dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = r.F32()
+	}
+	return v
+}

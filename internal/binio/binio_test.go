@@ -1,0 +1,77 @@
+package binio
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	WriteU32(bw, 0xDEADBEEF)
+	WriteI32(bw, -7)
+	WriteI64(bw, -1<<40)
+	WriteString(bw, "hello world")
+	WriteF32(bw, 3.25)
+	WriteVec(bw, []float32{1, -2, 0.5})
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bufio.NewReader(&buf))
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.I32(); got != -7 {
+		t.Fatalf("I32 = %d", got)
+	}
+	if got := r.I64(); got != -1<<40 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.Str(100); got != "hello world" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := r.F32(); got != 3.25 {
+		t.Fatalf("F32 = %v", got)
+	}
+	if got := r.Vec(3); got[0] != 1 || got[1] != -2 || got[2] != 0.5 {
+		t.Fatalf("Vec = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+// TestStickyError: after the first failure every read returns zero values
+// and the original error is preserved.
+func TestStickyError(t *testing.T) {
+	r := NewReader(bufio.NewReader(strings.NewReader("\x01\x02")))
+	if r.U32(); r.Err() == nil {
+		t.Fatal("short read must set the error")
+	}
+	first := r.Err()
+	if got := r.I64(); got != 0 {
+		t.Fatalf("read after error returned %d", got)
+	}
+	if got := r.Str(10); got != "" {
+		t.Fatalf("Str after error returned %q", got)
+	}
+	if r.Err() != first {
+		t.Fatalf("error was overwritten: %v", r.Err())
+	}
+}
+
+// TestStrRejectsHugeLength: a corrupt length prefix must error out instead
+// of allocating.
+func TestStrRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	WriteU32(bw, 1<<30)
+	bw.Flush()
+	r := NewReader(bufio.NewReader(&buf))
+	if r.Str(1 << 20); r.Err() == nil {
+		t.Fatal("oversized string length must be rejected")
+	}
+}

@@ -1,0 +1,207 @@
+package hnsw
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/binio"
+	"repro/internal/vector"
+)
+
+// Binary index format (all integers little-endian):
+//
+//	magic    [8]byte  "HNSWIDX\n"
+//	version  uint32   currently 1
+//	config   M, EfConstruction, EfSearch, Metric as int32; Seed as int64
+//	shape    dim, count, entry, maxL as int32 (entry is -1 when empty)
+//	nodes    count × { id int64; level int32; per layer: nLinks int32, links []int32 }
+//	vectors  count × dim × float32 (IEEE-754 bits)
+//
+// The format captures the complete index state — levels, links, and vectors —
+// so a loaded index answers every query exactly as the index that was saved.
+
+var magic = [8]byte{'H', 'N', 'S', 'W', 'I', 'D', 'X', '\n'}
+
+const formatVersion = 1
+
+// Corruption bounds: a bad count in a tiny file must fail with an error, not
+// a multi-gigabyte allocation. Genuine indexes stay far inside these.
+const (
+	maxSaneCount = 1 << 26 // nodes per index
+	maxSaneLevel = 64      // node level (truncated geometric keeps levels tiny)
+	maxSaneM     = 1 << 12 // config M; links per layer are <= 2*M
+	maxSaneDim   = 1 << 20
+)
+
+// Save writes the index to w in the versioned binary format above. The index
+// must not be mutated concurrently.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("hnsw: save: %w", err)
+	}
+	binio.WriteU32(bw, formatVersion)
+	binio.WriteI32(bw, int32(ix.cfg.M))
+	binio.WriteI32(bw, int32(ix.cfg.EfConstruction))
+	binio.WriteI32(bw, int32(ix.cfg.EfSearch))
+	binio.WriteI32(bw, int32(ix.cfg.Metric))
+	binio.WriteI64(bw, ix.cfg.Seed)
+	binio.WriteI32(bw, int32(ix.dim))
+	binio.WriteI32(bw, int32(len(ix.nodes)))
+	binio.WriteI32(bw, int32(ix.entry))
+	binio.WriteI32(bw, int32(ix.maxL))
+	for _, n := range ix.nodes {
+		binio.WriteI64(bw, int64(n.id))
+		binio.WriteI32(bw, int32(n.level))
+		for l := 0; l <= n.level; l++ {
+			binio.WriteI32(bw, int32(len(n.links[l])))
+			for _, nb := range n.links[l] {
+				binio.WriteI32(bw, nb)
+			}
+		}
+	}
+	for _, v := range ix.vecs {
+		binio.WriteVec(bw, v)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("hnsw: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save. The returned index is an
+// exact reconstruction: searches return identical results, and subsequent
+// Adds draw node levels from the same point in the seeded random stream as
+// they would have on the original index.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("hnsw: load: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("hnsw: load: bad magic %q (not an HNSW index file)", m[:])
+	}
+	rd := binio.NewReader(br)
+	version := rd.U32()
+	if rd.Err() == nil && version != formatVersion {
+		return nil, fmt.Errorf("hnsw: load: unsupported format version %d (want %d)", version, formatVersion)
+	}
+
+	var cfg Config
+	cfg.M = rd.I32()
+	cfg.EfConstruction = rd.I32()
+	cfg.EfSearch = rd.I32()
+	cfg.Metric = vector.Metric(rd.I32())
+	cfg.Seed = rd.I64()
+	dim := rd.I32()
+	count := rd.I32()
+	entry := rd.I32()
+	maxL := rd.I32()
+	if rd.Err() != nil {
+		return nil, fmt.Errorf("hnsw: load: %w", rd.Err())
+	}
+	if cfg.M <= 0 || cfg.M > maxSaneM {
+		return nil, fmt.Errorf("hnsw: load: implausible config M %d", cfg.M)
+	}
+	if dim <= 0 || dim > maxSaneDim {
+		return nil, fmt.Errorf("hnsw: load: implausible dim %d", dim)
+	}
+	if count < 0 || count > maxSaneCount {
+		return nil, fmt.Errorf("hnsw: load: implausible node count %d", count)
+	}
+	if entry < -1 || entry >= count {
+		return nil, fmt.Errorf("hnsw: load: entry point %d out of range for %d nodes", entry, count)
+	}
+	if (entry < 0) != (count == 0) {
+		return nil, fmt.Errorf("hnsw: load: entry point %d inconsistent with %d nodes", entry, count)
+	}
+
+	ix := New(dim, cfg)
+	ix.entry = entry
+	ix.maxL = maxL
+	ix.nodes = make([]*node, count)
+	for i := range ix.nodes {
+		id := rd.I64()
+		level := rd.I32()
+		if rd.Err() != nil {
+			return nil, fmt.Errorf("hnsw: load: node %d: %w", i, rd.Err())
+		}
+		// Levels follow a truncated geometric distribution; genuine levels
+		// stay tiny, so a large one is corruption — and would also drive a
+		// huge links allocation below.
+		if level < 0 || level > maxSaneLevel {
+			return nil, fmt.Errorf("hnsw: load: node %d has implausible level %d", i, level)
+		}
+		n := &node{id: int(id), level: level, links: make([][]int32, level+1)}
+		for l := 0; l <= level; l++ {
+			nLinks := rd.I32()
+			if rd.Err() != nil {
+				return nil, fmt.Errorf("hnsw: load: node %d layer %d: %w", i, l, rd.Err())
+			}
+			// Construction never keeps more than 2*M links per layer.
+			if nLinks < 0 || nLinks > 2*cfg.M {
+				return nil, fmt.Errorf("hnsw: load: node %d layer %d has implausible link count %d", i, l, nLinks)
+			}
+			links := make([]int32, nLinks)
+			for j := range links {
+				nb := int32(rd.I32())
+				if nb < 0 || int(nb) >= count {
+					return nil, fmt.Errorf("hnsw: load: node %d layer %d links to out-of-range node %d", i, l, nb)
+				}
+				links[j] = nb
+			}
+			n.links[l] = links
+		}
+		ix.nodes[i] = n
+	}
+	// Construction keeps the entry point at the highest level; a file that
+	// violates that would make Search read past a node's links.
+	if entry >= 0 && ix.nodes[entry].level != maxL {
+		return nil, fmt.Errorf("hnsw: load: entry node level %d does not match maxL %d", ix.nodes[entry].level, maxL)
+	}
+	// Every layer-l link must target a node that exists at layer l:
+	// greedyClosest indexes target.links[l] directly, so a link down to a
+	// lower-level node would panic the first Search.
+	for i, n := range ix.nodes {
+		for l, links := range n.links {
+			for _, nb := range links {
+				if ix.nodes[nb].level < l {
+					return nil, fmt.Errorf("hnsw: load: node %d layer %d links to node %d of level %d", i, l, nb, ix.nodes[nb].level)
+				}
+			}
+		}
+	}
+	ix.vecs = make([][]float32, count)
+	for i := range ix.vecs {
+		ix.vecs[i] = rd.Vec(dim)
+		if rd.Err() != nil {
+			return nil, fmt.Errorf("hnsw: load: vector %d: %w", i, rd.Err())
+		}
+	}
+	// Advance the level-sampling stream past the draws the original build
+	// consumed, so an Add after Load assigns the same level it would have
+	// on the never-saved index.
+	for i := 0; i < count; i++ {
+		ix.randomLevel()
+	}
+	return ix, nil
+}
+
+// Config returns the construction parameters the index was built with.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// IDs returns the external ids of all indexed vectors in insertion order.
+// Callers that use ids as indexes into their own state (e.g. the matcher's
+// tuple table) can validate a loaded index against it.
+func (ix *Index) IDs() []int {
+	out := make([]int, len(ix.nodes))
+	for i, n := range ix.nodes {
+		out[i] = n.id
+	}
+	return out
+}

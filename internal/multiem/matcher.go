@@ -1,0 +1,608 @@
+package multiem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/binio"
+	"repro/internal/hnsw"
+	"repro/internal/table"
+	"repro/internal/vector"
+)
+
+// Candidate is one online-match result: a tuple the query record likely
+// belongs to, ranked by distance between the query embedding and the tuple's
+// centroid.
+type Candidate struct {
+	// Tuple is the matcher-internal tuple index (stable across Match calls,
+	// grows under AddRecords).
+	Tuple int `json:"tuple"`
+	// EntityIDs are the member entity IDs, sorted ascending.
+	EntityIDs []int `json:"entity_ids"`
+	// Distance is the merge-metric distance from the query to the tuple
+	// centroid.
+	Distance float32 `json:"distance"`
+	// Similarity is 1 - Distance (cosine similarity for the default metric).
+	Similarity float32 `json:"similarity"`
+	// Confidence is the tuple's merge-path confidence in [0, 1].
+	Confidence float64 `json:"confidence"`
+}
+
+// AddResult reports what AddRecords did with one record.
+type AddResult struct {
+	// EntityID is the ID assigned to the new record.
+	EntityID int `json:"entity_id"`
+	// Tuple is the tuple the record now belongs to.
+	Tuple int `json:"tuple"`
+	// Absorbed is true when the record joined an existing tuple; false when
+	// it started a new singleton.
+	Absorbed bool `json:"absorbed"`
+	// Distance is the distance to the absorbing tuple's centroid (0 when a
+	// singleton was created).
+	Distance float32 `json:"distance"`
+}
+
+// MatcherStats summarizes a Matcher's state.
+type MatcherStats struct {
+	// Entities is the total number of records known to the matcher.
+	Entities int `json:"entities"`
+	// Tuples is the number of tracked tuples, singletons included.
+	Tuples int `json:"tuples"`
+	// Matched is the number of tuples with >= 2 members (Definition 2).
+	Matched int `json:"matched"`
+	// Singletons is the number of single-member tuples.
+	Singletons int `json:"singletons"`
+	// Dim is the embedding dimensionality.
+	Dim int `json:"dim"`
+	// IndexSize is the number of centroid vectors in the ANN index (stale
+	// centroids of absorbed-into tuples included).
+	IndexSize int `json:"index_size"`
+	// Attrs are the attribute names used for representation.
+	Attrs []string `json:"attrs"`
+}
+
+// tupleState is one tracked tuple: its member entity positions, the unit-norm
+// centroid of their embeddings, and merge-path provenance.
+type tupleState struct {
+	members     []int
+	centroid    []float32
+	maxJoinDist float32
+}
+
+// Matcher serves online entity matching over a completed pipeline run. It
+// holds every entity embedding, the predicted tuples (plus all unmatched
+// entities as singletons), and an HNSW index over tuple centroids.
+//
+// Match answers "which tuple does this record belong to" without re-running
+// the pipeline; AddRecords ingests new records incrementally, absorbing each
+// into its nearest tuple when the centroid distance is within the merge
+// threshold M, or starting a new singleton otherwise.
+//
+// Match is safe for concurrent use and may run concurrently with other Match
+// calls; AddRecords and Save take an exclusive lock, so they serialize with
+// everything else. The configured Encoder must be safe for concurrent use
+// (the default HashEncoder is).
+type Matcher struct {
+	mu  sync.RWMutex
+	opt Options
+	dim int
+	// schema is the attribute list incoming records must follow.
+	schema []string
+	// selected are the schema positions used for serialization; nil means
+	// all attributes (the pipeline's fast path).
+	selected []int
+	entIDs   []int
+	entVecs  [][]float32
+	tuples   []tupleState
+	index    *hnsw.Index
+	nextID   int
+	result   *Result // pipeline output; nil when loaded from disk
+}
+
+// BuildMatcher runs the full MultiEM pipeline on the dataset and wraps the
+// outcome in a Matcher. Every predicted tuple becomes a tracked tuple;
+// entities the pipeline left unmatched become singletons, so later records
+// can still be matched against them. The pipeline's Result is available via
+// Result().
+func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
+	st, err := run(d, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Matcher{
+		opt:     opt,
+		dim:     opt.Encoder.Dim(),
+		schema:  append([]string(nil), d.Schema().Attrs...),
+		entVecs: st.entVecs,
+		result:  st.res,
+	}
+	if len(st.res.SelectedAttrs) < len(m.schema) {
+		m.selected = append([]int(nil), st.res.SelectedAttrs...)
+	}
+	m.entIDs = make([]int, len(st.ents))
+	for i, e := range st.ents {
+		m.entIDs[i] = e.ID
+		if e.ID >= m.nextID {
+			m.nextID = e.ID + 1
+		}
+	}
+
+	covered := make([]bool, len(st.ents))
+	for ti, pos := range st.posTuples {
+		ts := tupleState{
+			members:     append([]int(nil), pos...),
+			maxJoinDist: 2 * float32(1-st.res.Confidences[ti]),
+		}
+		ts.centroid = centroidOf(ts.members, st.entVecs)
+		for _, p := range pos {
+			covered[p] = true
+		}
+		m.tuples = append(m.tuples, ts)
+	}
+	for p := range covered {
+		if !covered[p] {
+			m.tuples = append(m.tuples, tupleState{members: []int{p}, centroid: st.entVecs[p]})
+		}
+	}
+
+	if err := m.buildIndex(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// buildIndex constructs the centroid HNSW index from m.tuples.
+func (m *Matcher) buildIndex() error {
+	cfg := m.opt.HNSW
+	cfg.Metric = m.opt.MergeMetric
+	m.index = hnsw.New(m.dim, cfg)
+	for ti, ts := range m.tuples {
+		if err := m.index.Add(ti, ts.centroid); err != nil {
+			return fmt.Errorf("multiem: matcher index: %w", err)
+		}
+	}
+	return nil
+}
+
+// centroidOf returns the unit-norm mean embedding of the member positions.
+// Both the merging phase and the online matcher derive tuple centroids
+// through it, so the two can never diverge.
+func centroidOf(members []int, entVecs [][]float32) []float32 {
+	if len(members) == 1 {
+		return entVecs[members[0]]
+	}
+	out := make([]float32, len(entVecs[members[0]]))
+	for _, pos := range members {
+		vector.Add(out, entVecs[pos])
+	}
+	vector.Scale(out, 1/float32(len(members)))
+	return vector.Normalize(out)
+}
+
+// Result returns the pipeline output the matcher was built from, or nil for
+// a matcher loaded from disk.
+func (m *Matcher) Result() *Result { return m.result }
+
+// Schema returns the attribute names incoming records must be ordered by.
+func (m *Matcher) Schema() []string {
+	return append([]string(nil), m.schema...)
+}
+
+// embed serializes a record's values over the selected attributes and encodes
+// them, mirroring the pipeline's representation phase.
+func (m *Matcher) embed(values []string) []float32 {
+	e := &table.Entity{Values: values}
+	return m.opt.Encoder.Encode(table.Serialize(e, m.selected))
+}
+
+// MaxMatchK caps the per-query candidate count: Match allocates O(k) and the
+// index search beam is O(k), so an unbounded k from an untrusted caller (the
+// HTTP API) could exhaust memory.
+const MaxMatchK = 100
+
+// checkArity rejects records whose width differs from the schema; silently
+// padding or truncating would embed the wrong text and poison centroids.
+func (m *Matcher) checkArity(values []string) error {
+	if len(values) != len(m.schema) {
+		return fmt.Errorf("multiem: record has %d values, schema %v wants %d", len(values), m.schema, len(m.schema))
+	}
+	return nil
+}
+
+// Match returns up to k candidate tuples for a record, nearest centroid
+// first. values must be ordered by Schema() and match its length; k is
+// clamped to [1, MaxMatchK]. Records with no meaningful text (empty
+// embedding) return no candidates.
+func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
+	if err := m.checkArity(values); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > MaxMatchK {
+		k = MaxMatchK
+	}
+	q := m.embed(values)
+	if vector.Norm(q) == 0 {
+		return nil, nil
+	}
+
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	// Over-fetch: absorbed-into tuples leave stale centroid entries in the
+	// index, and several entries can resolve to one tuple.
+	raw := m.index.Search(q, 4*k+8, m.opt.EfSearch)
+	type ranked struct {
+		tuple int
+		dist  float32
+	}
+	seen := make(map[int]bool, len(raw))
+	order := make([]ranked, 0, len(raw))
+	for _, r := range raw {
+		if seen[r.ID] {
+			continue
+		}
+		seen[r.ID] = true
+		// Distance against the current centroid, not the possibly stale
+		// indexed vector. Clamp: float rounding can push an exact
+		// self-match a hair below zero.
+		d := m.opt.MergeMetric.Dist(q, m.tuples[r.ID].centroid)
+		if d < 0 {
+			d = 0
+		}
+		order = append(order, ranked{tuple: r.ID, dist: d})
+	}
+	// Rank every distinct tuple by its re-computed distance before cutting
+	// to k: stale index order must not decide which tuples survive the cut.
+	// Member-ID slices are only materialized for the survivors.
+	sort.SliceStable(order, func(i, j int) bool { return order[i].dist < order[j].dist })
+	if len(order) > k {
+		order = order[:k]
+	}
+	out := make([]Candidate, len(order))
+	for i, r := range order {
+		ts := m.tuples[r.tuple]
+		out[i] = Candidate{
+			Tuple:      r.tuple,
+			EntityIDs:  m.memberIDs(ts.members),
+			Distance:   r.dist,
+			Similarity: 1 - r.dist,
+			Confidence: confidenceFrom(ts.maxJoinDist),
+		}
+	}
+	return out, nil
+}
+
+func (m *Matcher) memberIDs(members []int) []int {
+	ids := make([]int, len(members))
+	for i, p := range members {
+		ids[i] = m.entIDs[p]
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// confidenceFrom maps a tuple's worst accepted join distance into (0, 1],
+// matching the pipeline's merge-path confidence.
+func confidenceFrom(maxJoinDist float32) float64 {
+	c := 1 - float64(maxJoinDist)/2
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// AddRecords ingests new records incrementally. Each record is embedded and
+// searched against the centroid index: within the merge threshold M it is
+// absorbed into the nearest tuple (centroid and confidence updated),
+// otherwise it starts a new singleton tuple. Returns one AddResult per
+// record, and the IDs assigned are fresh (greater than any existing ID).
+// Rows are validated against the schema up front; a bad row rejects the
+// whole batch, so ingestion is all-or-nothing.
+func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
+	for i, values := range rows {
+		if err := m.checkArity(values); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	out := make([]AddResult, 0, len(rows))
+	for _, values := range rows {
+		vec := m.embed(values)
+		pos := len(m.entVecs)
+		id := m.nextID
+		m.nextID++
+		m.entIDs = append(m.entIDs, id)
+		m.entVecs = append(m.entVecs, vec)
+
+		var best vector.Neighbor
+		best.ID = -1
+		if vector.Norm(vec) > 0 {
+			for _, r := range m.index.Search(vec, 8, m.opt.EfSearch) {
+				d := m.opt.MergeMetric.Dist(vec, m.tuples[r.ID].centroid)
+				if best.ID < 0 || d < best.Dist {
+					best = vector.Neighbor{ID: r.ID, Dist: d}
+				}
+			}
+		}
+
+		if best.ID >= 0 && best.Dist <= m.opt.M {
+			ti := best.ID
+			ts := &m.tuples[ti]
+			ts.members = append(ts.members, pos)
+			ts.centroid = centroidOf(ts.members, m.entVecs)
+			if best.Dist > ts.maxJoinDist {
+				ts.maxJoinDist = best.Dist
+			}
+			// Index the refreshed centroid under the same tuple id; the
+			// previous entry goes stale and Match/AddRecords re-rank
+			// against current centroids, so it only costs a little recall
+			// head-room, not correctness.
+			m.index.Add(ti, ts.centroid)
+			out = append(out, AddResult{EntityID: id, Tuple: ti, Absorbed: true, Distance: best.Dist})
+			continue
+		}
+
+		ti := len(m.tuples)
+		m.tuples = append(m.tuples, tupleState{members: []int{pos}, centroid: vec})
+		m.index.Add(ti, vec)
+		out = append(out, AddResult{EntityID: id, Tuple: ti, Absorbed: false})
+	}
+	return out, nil
+}
+
+// Stats reports the matcher's current size.
+func (m *Matcher) Stats() MatcherStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := MatcherStats{
+		Entities:  len(m.entIDs),
+		Tuples:    len(m.tuples),
+		Dim:       m.dim,
+		IndexSize: m.index.Len(),
+	}
+	if m.selected == nil {
+		s.Attrs = append([]string(nil), m.schema...)
+	} else {
+		for _, j := range m.selected {
+			s.Attrs = append(s.Attrs, m.schema[j])
+		}
+	}
+	for _, ts := range m.tuples {
+		if len(ts.members) >= 2 {
+			s.Matched++
+		} else {
+			s.Singletons++
+		}
+	}
+	return s
+}
+
+// Tuples returns every tracked tuple with >= 2 members as sorted entity-ID
+// sets with confidences, in tuple-index order.
+func (m *Matcher) Tuples() ([][]int, []float64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var tuples [][]int
+	var confs []float64
+	for _, ts := range m.tuples {
+		if len(ts.members) < 2 {
+			continue
+		}
+		tuples = append(tuples, m.memberIDs(ts.members))
+		confs = append(confs, confidenceFrom(ts.maxJoinDist))
+	}
+	return tuples, confs
+}
+
+// Matcher binary format (little-endian), version 1:
+//
+//	magic    [8]byte  "MEMMATC\n"
+//	version  uint32
+//	dim      int32
+//	nextID   int64
+//	schema   count + length-prefixed strings
+//	selected count (-1 = all attributes) + int32 positions
+//	entities count × { id int64; vec dim × float32 }
+//	tuples   count × { nMembers int32; members []int32; maxJoinDist f32;
+//	                   centroid dim × float32 }
+//	index    embedded hnsw.Index (its own versioned format)
+
+var matcherMagic = [8]byte{'M', 'E', 'M', 'M', 'A', 'T', 'C', '\n'}
+
+const matcherFormatVersion = 1
+
+// Corruption bounds, mirroring the hnsw serializer: a bad count in a tiny
+// file must fail with an error, not a multi-gigabyte allocation.
+const (
+	maxSaneCount  = 1 << 26
+	maxSaneSchema = 1 << 20
+	maxSaneStr    = 1 << 20
+)
+
+// Save writes the matcher's complete state — embeddings, tuples, and the
+// centroid index — so LoadMatcher can serve queries without re-running the
+// pipeline. The pipeline Result is not persisted.
+func (m *Matcher) Save(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(matcherMagic[:]); err != nil {
+		return fmt.Errorf("multiem: save matcher: %w", err)
+	}
+	binio.WriteU32(bw, matcherFormatVersion)
+	binio.WriteI32(bw, int32(m.dim))
+	binio.WriteI64(bw, int64(m.nextID))
+	binio.WriteI32(bw, int32(len(m.schema)))
+	for _, s := range m.schema {
+		binio.WriteString(bw, s)
+	}
+	if m.selected == nil {
+		binio.WriteI32(bw, -1)
+	} else {
+		binio.WriteI32(bw, int32(len(m.selected)))
+		for _, j := range m.selected {
+			binio.WriteI32(bw, int32(j))
+		}
+	}
+	binio.WriteI32(bw, int32(len(m.entIDs)))
+	for i, id := range m.entIDs {
+		binio.WriteI64(bw, int64(id))
+		binio.WriteVec(bw, m.entVecs[i])
+	}
+	binio.WriteI32(bw, int32(len(m.tuples)))
+	for _, ts := range m.tuples {
+		binio.WriteI32(bw, int32(len(ts.members)))
+		for _, p := range ts.members {
+			binio.WriteI32(bw, int32(p))
+		}
+		binio.WriteF32(bw, ts.maxJoinDist)
+		binio.WriteVec(bw, ts.centroid)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("multiem: save matcher: %w", err)
+	}
+	return m.index.Save(w)
+}
+
+// LoadMatcher reads a matcher written by Save. opt supplies the runtime
+// pieces that are not persisted — the encoder and thresholds — and must use
+// an encoder with the same dimensionality (and, for meaningful results, the
+// same encoding) as at save time.
+func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	// The embedded index is read through the same bufio.Reader, so its
+	// read-ahead never loses bytes between the two sections.
+	br := bufio.NewReader(r)
+
+	var mg [8]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, fmt.Errorf("multiem: load matcher: %w", err)
+	}
+	if mg != matcherMagic {
+		return nil, fmt.Errorf("multiem: load matcher: bad magic %q (not a matcher file)", mg[:])
+	}
+	rd := binio.NewReader(br)
+	version := rd.U32()
+	if rd.Err() == nil && version != matcherFormatVersion {
+		return nil, fmt.Errorf("multiem: load matcher: unsupported format version %d (want %d)", version, matcherFormatVersion)
+	}
+
+	m := &Matcher{opt: opt}
+	m.dim = rd.I32()
+	m.nextID = int(rd.I64())
+	if rd.Err() != nil {
+		return nil, fmt.Errorf("multiem: load matcher: %w", rd.Err())
+	}
+	if m.dim <= 0 {
+		return nil, fmt.Errorf("multiem: load matcher: corrupt dim %d", m.dim)
+	}
+	if got := opt.Encoder.Dim(); got != m.dim {
+		return nil, fmt.Errorf("multiem: load matcher: encoder dim %d does not match saved dim %d", got, m.dim)
+	}
+
+	nSchema := rd.I32()
+	if rd.Err() == nil && (nSchema < 0 || nSchema > maxSaneSchema) {
+		return nil, fmt.Errorf("multiem: load matcher: corrupt schema size %d", nSchema)
+	}
+	m.schema = make([]string, nSchema)
+	for i := range m.schema {
+		m.schema[i] = rd.Str(maxSaneStr)
+	}
+	nSel := rd.I32()
+	if rd.Err() == nil && nSel > nSchema {
+		return nil, fmt.Errorf("multiem: load matcher: %d selected attributes for schema of %d", nSel, nSchema)
+	}
+	if nSel >= 0 {
+		m.selected = make([]int, nSel)
+		for i := range m.selected {
+			j := rd.I32()
+			if rd.Err() == nil && (j < 0 || j >= nSchema) {
+				return nil, fmt.Errorf("multiem: load matcher: selected attribute %d out of schema range", j)
+			}
+			m.selected[i] = j
+		}
+	}
+
+	nEnts := rd.I32()
+	if rd.Err() == nil && (nEnts < 0 || nEnts > maxSaneCount) {
+		return nil, fmt.Errorf("multiem: load matcher: corrupt entity count %d", nEnts)
+	}
+	m.entIDs = make([]int, nEnts)
+	m.entVecs = make([][]float32, nEnts)
+	maxEntID := -1
+	for i := 0; i < nEnts; i++ {
+		m.entIDs[i] = int(rd.I64())
+		m.entVecs[i] = rd.Vec(m.dim)
+		if rd.Err() != nil {
+			return nil, fmt.Errorf("multiem: load matcher: entity %d: %w", i, rd.Err())
+		}
+		if m.entIDs[i] > maxEntID {
+			maxEntID = m.entIDs[i]
+		}
+	}
+	// A nextID at or below an existing ID would hand out colliding IDs on
+	// the first AddRecords; reject it like every other corrupt field.
+	if m.nextID <= maxEntID {
+		return nil, fmt.Errorf("multiem: load matcher: nextID %d not above max entity ID %d", m.nextID, maxEntID)
+	}
+
+	nTuples := rd.I32()
+	if rd.Err() == nil && (nTuples < 0 || nTuples > maxSaneCount) {
+		return nil, fmt.Errorf("multiem: load matcher: corrupt tuple count %d", nTuples)
+	}
+	m.tuples = make([]tupleState, nTuples)
+	for i := 0; i < nTuples; i++ {
+		nMembers := rd.I32()
+		if rd.Err() == nil && (nMembers < 0 || nMembers > nEnts) {
+			return nil, fmt.Errorf("multiem: load matcher: tuple %d has corrupt member count %d", i, nMembers)
+		}
+		members := make([]int, nMembers)
+		for j := range members {
+			p := rd.I32()
+			if rd.Err() == nil && (p < 0 || p >= nEnts) {
+				return nil, fmt.Errorf("multiem: load matcher: tuple %d references out-of-range entity %d", i, p)
+			}
+			members[j] = p
+		}
+		m.tuples[i] = tupleState{
+			members:     members,
+			maxJoinDist: rd.F32(),
+			centroid:    rd.Vec(m.dim),
+		}
+	}
+	if rd.Err() != nil {
+		return nil, fmt.Errorf("multiem: load matcher: %w", rd.Err())
+	}
+
+	ix, err := hnsw.Load(br)
+	if err != nil {
+		return nil, fmt.Errorf("multiem: load matcher: %w", err)
+	}
+	if ix.Dim() != m.dim {
+		return nil, fmt.Errorf("multiem: load matcher: index dim %d does not match matcher dim %d", ix.Dim(), m.dim)
+	}
+	// Index ids are tuple indexes; an out-of-range id would make the first
+	// Match panic, so reject it at load time.
+	for _, id := range ix.IDs() {
+		if id < 0 || id >= nTuples {
+			return nil, fmt.Errorf("multiem: load matcher: index references tuple %d, have %d tuples", id, nTuples)
+		}
+	}
+	if ix.Len() < nTuples {
+		return nil, fmt.Errorf("multiem: load matcher: index has %d centroids for %d tuples", ix.Len(), nTuples)
+	}
+	m.index = ix
+	return m, nil
+}

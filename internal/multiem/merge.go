@@ -9,7 +9,6 @@ import (
 	"repro/internal/ann"
 	"repro/internal/hnsw"
 	"repro/internal/unionfind"
-	"repro/internal/vector"
 )
 
 // item is one row of a (possibly merged) table during Phase II: a candidate
@@ -144,15 +143,7 @@ func (mc *mergeContext) mergeTwoTables(a, b []item) ([]item, error) {
 
 // centroid returns the unit-norm mean of the members' entity embeddings.
 func (mc *mergeContext) centroid(members []int) []float32 {
-	if len(members) == 1 {
-		return mc.entVecs[members[0]]
-	}
-	out := make([]float32, len(mc.entVecs[members[0]]))
-	for _, pos := range members {
-		vector.Add(out, mc.entVecs[pos])
-	}
-	vector.Scale(out, 1/float32(len(members)))
-	return vector.Normalize(out)
+	return centroidOf(members, mc.entVecs)
 }
 
 // hierarchicalMerge implements Algorithm 2: repeatedly pair up the current

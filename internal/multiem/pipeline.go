@@ -42,8 +42,30 @@ type Result struct {
 	Timings PhaseTimings
 }
 
+// runState carries the pipeline's intermediate products alongside the public
+// Result: the entities in position order, their embeddings, and the predicted
+// tuples as entity positions. BuildMatcher consumes these to set up online
+// serving without re-deriving them from the Result's entity IDs.
+type runState struct {
+	res     *Result
+	ents    []*table.Entity
+	entVecs [][]float32
+	// posTuples[i] lists entity positions (indexes into ents/entVecs) for
+	// res.Tuples[i]; the two are aligned index-by-index.
+	posTuples [][]int
+}
+
 // Run executes the full MultiEM pipeline on a dataset.
 func Run(d *table.Dataset, opt Options) (*Result, error) {
+	st, err := run(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	return st.res, nil
+}
+
+// run is Run plus intermediate state.
+func run(d *table.Dataset, opt Options) (*runState, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,9 +128,10 @@ func Run(d *table.Dataset, opt Options) (*Result, error) {
 	res.Timings.Prune = time.Since(tPrune)
 
 	// Translate entity positions back to entity IDs, canonicalized, and
-	// keep confidences aligned through the sort.
+	// keep confidences and positions aligned through the sort.
 	type scored struct {
 		tuple []int
+		pos   []int
 		conf  float64
 	}
 	all := make([]scored, 0, len(posTuples))
@@ -117,18 +140,20 @@ func Run(d *table.Dataset, opt Options) (*Result, error) {
 		for i, p := range pt {
 			ids[i] = ents[p].ID
 		}
-		all = append(all, scored{tuple: table.SortTuple(ids), conf: confs[ti]})
+		all = append(all, scored{tuple: table.SortTuple(ids), pos: pt, conf: confs[ti]})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].tuple[0] < all[j].tuple[0] })
 	res.Tuples = make([][]int, len(all))
 	res.Confidences = make([]float64, len(all))
+	sortedPos := make([][]int, len(all))
 	for i, s := range all {
 		res.Tuples[i] = s.tuple
 		res.Confidences[i] = s.conf
+		sortedPos[i] = s.pos
 	}
 
 	res.Timings.Total = time.Since(start)
-	return res, nil
+	return &runState{res: res, ents: ents, entVecs: entVecs, posTuples: sortedPos}, nil
 }
 
 func allAttrIndexes(n int) []int {

@@ -19,6 +19,9 @@
 package repro
 
 import (
+	"io"
+	"os"
+
 	"repro/internal/datagen"
 	"repro/internal/embed"
 	"repro/internal/eval"
@@ -49,6 +52,20 @@ type (
 	Result = multiem.Result
 	// AttrScore is a per-attribute significance diagnostic (Table VII).
 	AttrScore = multiem.AttrScore
+)
+
+// Online matching.
+type (
+	// Matcher serves online matching over a completed pipeline run: Match
+	// finds candidate tuples for a record, AddRecords ingests new records
+	// incrementally, Save/LoadMatcher persist the whole state.
+	Matcher = multiem.Matcher
+	// Candidate is one online-match result.
+	Candidate = multiem.Candidate
+	// AddResult reports how one ingested record was placed.
+	AddResult = multiem.AddResult
+	// MatcherStats summarizes a Matcher's state.
+	MatcherStats = multiem.MatcherStats
 )
 
 // Evaluation.
@@ -82,6 +99,50 @@ func Match(d *Dataset, opt Options) (*Result, error) { return multiem.Run(d, opt
 // significance scores and the selected schema positions.
 func SelectAttributes(d *Dataset, opt Options) ([]AttrScore, []int) {
 	return multiem.SelectAttributes(d, opt)
+}
+
+// BuildMatcher runs the full pipeline on a dataset and wraps the outcome for
+// online serving: incremental ingestion and candidate queries without
+// re-running the hierarchy.
+func BuildMatcher(d *Dataset, opt Options) (*Matcher, error) {
+	return multiem.BuildMatcher(d, opt)
+}
+
+// LoadMatcher reads a matcher previously written with Matcher.Save. opt
+// supplies the encoder and thresholds, which are not persisted.
+func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
+	return multiem.LoadMatcher(r, opt)
+}
+
+// SaveMatcherFile writes the matcher to path atomically: the state goes to a
+// temp file first and is renamed into place, so a crash mid-save never
+// leaves a truncated index behind.
+func SaveMatcherFile(m *Matcher, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadMatcherFile reads a matcher from a file written by SaveMatcherFile.
+func LoadMatcherFile(path string, opt Options) (*Matcher, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return multiem.LoadMatcher(f, opt)
 }
 
 // Evaluate scores predicted tuples against ground truth with both the
