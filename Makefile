@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke
+.PHONY: all build vet fmt test race bench bench-smoke bench-json
 
 all: build vet test
 
@@ -30,3 +30,17 @@ bench:
 # runs without paying for stable numbers.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Tier-1 benches -> BENCH_PR2.json "current" suite (the frozen "baseline"
+# suite in the file is kept). CI uploads the file as an artifact; see
+# README "Performance" for the format.
+BENCH_JSON ?= BENCH_PR2.json
+bench-json:
+	@rm -f .bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkTable4_MultiEM' -benchmem -count=1 . >> .bench.out
+	$(GO) test -run='^$$' -bench='Build1k|Search10k' -benchmem -count=1 ./internal/hnsw >> .bench.out
+	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
+	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
+	$(GO) run ./cmd/benchjson -pr 2 -set current -merge $(BENCH_JSON) -o $(BENCH_JSON) < .bench.out
+	@rm -f .bench.out
+	@echo "wrote $(BENCH_JSON)"

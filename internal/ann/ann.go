@@ -40,16 +40,22 @@ func HNSWBuilder(dim int, cfg hnsw.Config) Builder {
 }
 
 // BruteForce is an exact-search index; the reference backend used by tests
-// and the ANN-backend ablation.
+// and the ANN-backend ablation. Vectors are copied into a contiguous arena
+// at construction and the metric is resolved once, so the scan in Search is
+// a cache-linear sweep with no per-row pointer chase or metric switch.
 type BruteForce struct {
 	ids    []int
-	vecs   [][]float32
+	vecs   *vector.Store
 	metric vector.Metric
 }
 
 // NewBruteForce builds an exact index over ids/vecs using the metric.
 func NewBruteForce(ids []int, vecs [][]float32, metric vector.Metric) *BruteForce {
-	return &BruteForce{ids: ids, vecs: vecs, metric: metric}
+	b := &BruteForce{ids: ids, metric: metric}
+	if len(vecs) > 0 {
+		b.vecs = vector.StoreFromRows(len(vecs[0]), vecs)
+	}
+	return b
 }
 
 // BruteForceBuilder returns a Builder for exact search.
@@ -59,14 +65,17 @@ func BruteForceBuilder(metric vector.Metric) Builder {
 	}
 }
 
-// Search implements Index by scanning all vectors.
+// Search implements Index by scanning the arena with a kernel bound to q
+// once for the whole sweep.
 func (b *BruteForce) Search(q []float32, k, _ int) []vector.Neighbor {
-	if k <= 0 || len(b.vecs) == 0 {
+	if k <= 0 || b.Len() == 0 {
 		return nil
 	}
+	qf := b.metric.QueryFunc(q)
 	tk := vector.NewTopK(k)
-	for i, v := range b.vecs {
-		tk.Push(i, b.metric.Dist(q, v))
+	n := b.vecs.Len()
+	for i := 0; i < n; i++ {
+		tk.Push(i, qf(b.vecs.At(i)))
 	}
 	res := tk.Results()
 	for i := range res {
@@ -76,7 +85,12 @@ func (b *BruteForce) Search(q []float32, k, _ int) []vector.Neighbor {
 }
 
 // Len implements Index.
-func (b *BruteForce) Len() int { return len(b.vecs) }
+func (b *BruteForce) Len() int {
+	if b.vecs == nil {
+		return 0
+	}
+	return b.vecs.Len()
+}
 
 // Pair is a matched pair of external entity ids with their distance.
 // Invariant: A and B come from the two different input sides.
@@ -105,21 +119,22 @@ func MutualTopK(idsA []int, vecsA [][]float32, indexB Index,
 	// Direction B -> A.
 	rev := topKAll(vecsB, indexA, k, ef, workers)
 
-	// Build the reverse lookup: for each external b id, the set of external
-	// a ids it selected.
+	// Build the reverse lookup: for each external b id, the external a ids
+	// it selected. k is small (the paper fixes k=1), so a linear scan over a
+	// slice beats one map per item.
 	idxB := make(map[int]int, len(idsB))
 	for i, id := range idsB {
 		idxB[id] = i
 	}
-	revSet := make([]map[int]bool, len(idsB))
-	for i, ns := range rev {
-		m := make(map[int]bool, len(ns))
-		for _, n := range ns {
-			m[n.ID] = true
-		}
-		revSet[i] = m
-	}
 
+	chose := func(ns []vector.Neighbor, id int) bool {
+		for _, n := range ns {
+			if n.ID == id {
+				return true
+			}
+		}
+		return false
+	}
 	var pairs []Pair
 	for i, ns := range fwd {
 		a := idsA[i]
@@ -131,7 +146,7 @@ func MutualTopK(idsA []int, vecsA [][]float32, indexB Index,
 			if !ok {
 				continue
 			}
-			if revSet[bi][a] {
+			if chose(rev[bi], a) {
 				pairs = append(pairs, Pair{A: a, B: n.ID, Dist: n.Dist})
 			}
 		}

@@ -40,8 +40,24 @@ func WriteF32(w *bufio.Writer, v float32) { WriteU32(w, math.Float32bits(v)) }
 
 // WriteVec writes every element of v.
 func WriteVec(w *bufio.Writer, v []float32) {
-	for _, x := range v {
-		WriteF32(w, x)
+	WriteF32s(w, v)
+}
+
+// WriteF32s bulk-writes v as one little-endian block, encoding through a
+// stack chunk buffer instead of one Write per element. Serializers use it to
+// write a whole vector arena in one pass.
+func WriteF32s(w *bufio.Writer, v []float32) {
+	var buf [512]byte
+	for len(v) > 0 {
+		n := len(v)
+		if n > len(buf)/4 {
+			n = len(buf) / 4
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v[i]))
+		}
+		w.Write(buf[:4*n])
+		v = v[n:]
 	}
 }
 
@@ -112,8 +128,30 @@ func (r *Reader) Str(maxLen int) string {
 // Vec reads dim float32s.
 func (r *Reader) Vec(dim int) []float32 {
 	v := make([]float32, dim)
-	for i := range v {
-		v[i] = r.F32()
-	}
+	r.F32s(v)
 	return v
+}
+
+// F32s bulk-reads len(dst) float32s into dst as one little-endian block, the
+// read side of WriteF32s. On error dst is left partially written and the
+// sticky error is set.
+func (r *Reader) F32s(dst []float32) {
+	if r.err != nil {
+		return
+	}
+	var buf [512]byte
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > len(buf)/4 {
+			n = len(buf) / 4
+		}
+		if _, err := io.ReadFull(r.br, buf[:4*n]); err != nil {
+			r.err = err
+			return
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		dst = dst[n:]
+	}
 }

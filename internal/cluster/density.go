@@ -50,14 +50,16 @@ func ClassifyDensity(vecs [][]float32, metric vector.Metric, eps float32, minPts
 	if u == 0 {
 		return roles
 	}
-	// Pairwise distance matrix.
+	// Pairwise distance matrix, through the kernel resolved once per tuple
+	// instead of a metric switch per pair.
+	distFn := metric.Func()
 	dist := make([][]float32, u)
 	for i := range dist {
 		dist[i] = make([]float32, u)
 	}
 	for i := 0; i < u; i++ {
 		for j := i + 1; j < u; j++ {
-			d := metric.Dist(vecs[i], vecs[j])
+			d := distFn(vecs[i], vecs[j])
 			dist[i][j], dist[j][i] = d, d
 		}
 	}

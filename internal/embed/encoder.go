@@ -1,9 +1,9 @@
 package embed
 
 import (
-	"hash/fnv"
-	"runtime"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/vector"
 )
@@ -25,6 +25,30 @@ type Encoder interface {
 	EncodeBatch(texts []string) [][]float32
 }
 
+// StoreEncoder is implemented by encoders that can write embeddings straight
+// into a contiguous vector arena, skipping the per-vector allocation of
+// EncodeBatch.
+type StoreEncoder interface {
+	Encoder
+	// EncodeBatchStore embeds texts into a fresh arena, row i holding the
+	// embedding of texts[i].
+	EncodeBatchStore(texts []string) *vector.Store
+}
+
+// BatchStore embeds texts into a contiguous arena using the encoder's native
+// arena path when it has one, and falling back to copying EncodeBatch rows
+// otherwise. The pipeline's representation phase goes through here.
+func BatchStore(e Encoder, texts []string) *vector.Store {
+	if se, ok := e.(StoreEncoder); ok {
+		return se.EncodeBatchStore(texts)
+	}
+	s := vector.NewStoreWithCap(e.Dim(), len(texts))
+	for _, v := range e.EncodeBatch(texts) {
+		s.Append(v)
+	}
+	return s
+}
+
 // HashEncoder is the deterministic hashed character-n-gram encoder described
 // in the package comment. It is stateless after construction, safe for
 // concurrent use, and needs no training data or model files.
@@ -33,6 +57,19 @@ type HashEncoder struct {
 	grams    []int // n-gram sizes, e.g. {3, 4}
 	seqLen   int
 	tokenLex bool // apply lexicality weighting (disabled only in tests)
+	// scratch pools per-encode working state (token spans, the per-token
+	// vector, the boundary-marked gram buffer) so steady-state encoding
+	// allocates nothing beyond the output vector the caller asked for.
+	scratch sync.Pool
+}
+
+// encodeScratch is the reusable working state of one Encode call.
+type encodeScratch struct {
+	buf     []byte     // lowercased token bytes, all tokens back to back
+	spans   [][2]int32 // token i is buf[spans[i][0]:spans[i][1]]
+	weights []float32  // Lexicality of token i
+	tokVec  []float32  // per-token accumulation vector
+	marked  []byte     // "#token#" gram window
 }
 
 // Option configures a HashEncoder.
@@ -71,6 +108,7 @@ func NewHashEncoder(opts ...Option) *HashEncoder {
 	if len(e.grams) == 0 {
 		panic("embed: at least one n-gram size required")
 	}
+	e.scratch.New = func() any { return &encodeScratch{} }
 	return e
 }
 
@@ -80,62 +118,134 @@ func (e *HashEncoder) Dim() int { return e.dim }
 // Encode implements Encoder.
 func (e *HashEncoder) Encode(text string) []float32 {
 	out := make([]float32, e.dim)
-	tokens := Tokenize(text)
-	if len(tokens) > e.seqLen {
-		tokens = tokens[:e.seqLen]
+	e.EncodeInto(text, out)
+	return out
+}
+
+// EncodeInto writes the unit-norm embedding of text into out, which must
+// have length Dim. It allocates nothing in steady state, which is what lets
+// EncodeBatchStore fill an arena with zero per-vector garbage.
+func (e *HashEncoder) EncodeInto(text string, out []float32) {
+	if len(out) != e.dim {
+		panic("embed: EncodeInto output has wrong dimension")
 	}
-	if len(tokens) == 0 {
-		return out
+	for i := range out {
+		out[i] = 0
 	}
-	tokVec := make([]float32, e.dim)
+	sc := e.scratch.Get().(*encodeScratch)
+	defer e.scratch.Put(sc)
+	sc.tokenize(text, e.seqLen)
+	if len(sc.spans) == 0 {
+		return
+	}
+	if len(sc.tokVec) != e.dim {
+		sc.tokVec = make([]float32, e.dim)
+	}
 	var total float32
-	for _, tok := range tokens {
+	for ti, sp := range sc.spans {
+		tok := sc.buf[sp[0]:sp[1]]
+		tokVec := sc.tokVec
 		for i := range tokVec {
 			tokVec[i] = 0
 		}
-		e.embedToken(tok, tokVec)
+		e.embedToken(tok, tokVec, sc)
 		vector.Normalize(tokVec)
 		w := float32(1)
 		if e.tokenLex {
-			w = Lexicality(tok)
+			w = sc.weights[ti]
 		}
-		for i := range out {
-			out[i] += w * tokVec[i]
-		}
+		vector.AddScaled(out, tokVec, w)
 		total += w
 	}
 	if total > 0 {
 		vector.Scale(out, 1/total)
 	}
-	return vector.Normalize(out)
+	vector.Normalize(out)
+}
+
+// tokenize fills the scratch with the lowercased alphanumeric runs of text
+// (at most seqLen of them) plus each run's Lexicality, computed in the same
+// pass so the token never needs to exist as a string.
+func (sc *encodeScratch) tokenize(text string, seqLen int) {
+	sc.buf = sc.buf[:0]
+	sc.spans = sc.spans[:0]
+	sc.weights = sc.weights[:0]
+	start := 0
+	letters, digits, vowels := 0, 0, 0
+	flush := func() {
+		if len(sc.buf) > start {
+			sc.spans = append(sc.spans, [2]int32{int32(start), int32(len(sc.buf))})
+			sc.weights = append(sc.weights, lexicalityCounts(letters, digits, vowels))
+		}
+		start = len(sc.buf)
+		letters, digits, vowels = 0, 0, 0
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			lr := unicode.ToLower(r)
+			sc.buf = utf8.AppendRune(sc.buf, lr)
+			if unicode.IsDigit(lr) {
+				digits++
+			} else {
+				letters++
+				switch lr {
+				case 'a', 'e', 'i', 'o', 'u', 'y':
+					vowels++
+				}
+			}
+		default:
+			flush()
+			if len(sc.spans) == seqLen {
+				return
+			}
+		}
+	}
+	flush()
+	if len(sc.spans) > seqLen {
+		sc.spans = sc.spans[:seqLen]
+		sc.weights = sc.weights[:seqLen]
+	}
 }
 
 // embedToken accumulates the signed hashed n-gram features of one token
 // into dst. Tokens are wrapped in boundary markers so prefixes/suffixes are
 // distinguishable ("#tim#" vs "tim" inside a longer word).
-func (e *HashEncoder) embedToken(tok string, dst []float32) {
-	marked := "#" + tok + "#"
-	bytes := []byte(marked)
+func (e *HashEncoder) embedToken(tok []byte, dst []float32, sc *encodeScratch) {
+	marked := append(sc.marked[:0], '#')
+	marked = append(marked, tok...)
+	marked = append(marked, '#')
+	sc.marked = marked
 	for _, n := range e.grams {
-		if len(bytes) < n {
-			e.addGram(bytes, dst)
+		if len(marked) < n {
+			e.addGram(marked, dst)
 			continue
 		}
-		for i := 0; i+n <= len(bytes); i++ {
-			e.addGram(bytes[i:i+n], dst)
+		for i := 0; i+n <= len(marked); i++ {
+			e.addGram(marked[i:i+n], dst)
 		}
 	}
 }
 
-// addGram feature-hashes one n-gram: a 64-bit FNV hash provides the target
+// FNV-1a constants, matching hash/fnv's 64-bit variant bit for bit.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// addGram feature-hashes one n-gram: a 64-bit FNV-1a hash provides the target
 // index (low bits) and the sign (a high bit), the standard signed
-// feature-hashing trick that keeps hashed inner products unbiased.
+// feature-hashing trick that keeps hashed inner products unbiased. The hash
+// is inlined — an fnv.New64a() per n-gram was the encoder's hottest
+// allocation-and-interface-call site.
 func (e *HashEncoder) addGram(gram []byte, dst []float32) {
-	h := fnv.New64a()
-	h.Write(gram)
-	v := h.Sum64()
-	idx := int(v % uint64(e.dim))
-	if v&(1<<63) != 0 {
+	h := uint64(fnvOffset64)
+	for _, c := range gram {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	idx := int(h % uint64(e.dim))
+	if h&(1<<63) != 0 {
 		dst[idx]--
 	} else {
 		dst[idx]++
@@ -145,37 +255,26 @@ func (e *HashEncoder) addGram(gram []byte, dst []float32) {
 // EncodeBatch implements Encoder using a fixed worker pool.
 func (e *HashEncoder) EncodeBatch(texts []string) [][]float32 {
 	out := make([][]float32, len(texts))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(texts) {
-		workers = len(texts)
-	}
-	if workers <= 1 {
-		for i, t := range texts {
-			out[i] = e.Encode(t)
+	parallelChunks(len(texts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = e.Encode(texts[i])
 		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(texts) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(texts) {
-			hi = len(texts)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = e.Encode(texts[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 
-var _ Encoder = (*HashEncoder)(nil)
+// EncodeBatchStore implements StoreEncoder: embeddings are written directly
+// into arena rows, so a batch of n texts costs one arena allocation instead
+// of n vector allocations.
+func (e *HashEncoder) EncodeBatchStore(texts []string) *vector.Store {
+	s := vector.NewStoreWithCap(e.dim, len(texts))
+	s.Grow(len(texts))
+	parallelChunks(len(texts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.EncodeInto(texts[i], s.At(i))
+		}
+	})
+	return s
+}
+
+var _ StoreEncoder = (*HashEncoder)(nil)

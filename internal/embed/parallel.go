@@ -1,0 +1,40 @@
+package embed
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelChunks runs fn over [0, n) split into contiguous chunks, one per
+// worker, using all cores. n <= 1 (or a single core) runs inline. Both batch
+// encoding paths share it so the arena path cannot drift from the slice path.
+func parallelChunks(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

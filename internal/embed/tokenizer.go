@@ -74,6 +74,13 @@ func Lexicality(token string) float32 {
 			}
 		}
 	}
+	return lexicalityCounts(letters, digits, vowels)
+}
+
+// lexicalityCounts is the scoring rule behind Lexicality, split out so the
+// encoder's single-pass tokenizer can score tokens from counts it gathers
+// while lowercasing, without materializing the token as a string.
+func lexicalityCounts(letters, digits, vowels int) float32 {
 	total := letters + digits
 	if total == 0 {
 		return 0.01

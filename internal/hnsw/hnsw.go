@@ -10,6 +10,13 @@
 // "select by heuristic" rule, which keeps the graph navigable on clustered
 // data.
 //
+// Storage is flat, in the spirit of hnswlib: vectors live in one contiguous
+// arena (vector.Store) addressed by internal index, and the adjacency lists
+// of all nodes live in a single []int32 with per-node offsets and fixed
+// per-layer capacities — no per-node or per-layer heap objects, no pointer
+// chasing between a node and its links. The distance metric is resolved to a
+// concrete kernel once at construction instead of switching per call.
+//
 // Construction is serialized internally; Search is safe for concurrent use
 // once construction has finished (the merging pipeline builds per-table
 // indexes in parallel and then queries them from many goroutines).
@@ -58,27 +65,58 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-type node struct {
-	id    int // caller-provided external id
-	level int
-	// links[l] holds neighbour indexes (into Index.nodes) at layer l.
-	links [][]int32
-}
-
-// Index is an HNSW approximate nearest-neighbour index.
+// Index is an HNSW approximate nearest-neighbour index over flat storage.
+//
+// Adjacency layout: node i owns the region links[offs[i]:offs[i+1]] (the
+// final offset is implicit in len(links) for the newest node). The region
+// starts with the layer-0 block and is followed by one block per upper layer
+// up to the node's level. Each block is a fixed-capacity counted list:
+// slot 0 holds the link count, slots 1..cap hold neighbour indexes. Layer 0
+// has capacity 2*M, upper layers M, so block starts are pure arithmetic —
+// the CSR-style shape serializes as-is and never allocates per node.
 type Index struct {
 	cfg    Config
 	dim    int
 	mu     sync.Mutex
 	rng    *rand.Rand
-	levelF float64 // 1 / ln(M)
+	levelF float64         // 1 / ln(M)
+	dist   vector.DistFunc // cfg.Metric resolved once
 
-	vecs  [][]float32
-	nodes []*node
-	entry int // index into nodes of the entry point; -1 when empty
-	maxL  int
+	vecs   *vector.Store // row i = vector of internal node i
+	ids    []int         // external id per node
+	levels []int32       // top layer per node
+	// linkDists mirrors links slot for slot: linkDists[bs+1+k] caches the
+	// distance of the k-th link in the layer block starting at bs (the count
+	// slot bs itself is unused). Vectors are immutable and every metric here
+	// is symmetric, so a link's distance is known the moment the link is
+	// created — caching it makes linkBack's overflow shrink gather its
+	// candidate distances for free instead of one kernel call per neighbour.
+	linkDists []float32
+	// cosNorms caches ||v|| per node when the metric is Cosine (nil
+	// otherwise), so every node-node and query-node cosine distance is a
+	// single Dot pass plus a multiply instead of three inner products —
+	// hnswlib's stored-norm trick. Vectors are immutable once added, so the
+	// cache never invalidates.
+	cosNorms []float64
+	links    []int32 // flat adjacency arena, see layout above
+	offs     []int   // offs[i] = start of node i's region in links
+	entry    int     // index into ids of the entry point; -1 when empty
+	maxL     int
 
-	visitPool sync.Pool // of *visitSet, reused across searches
+	searchPool sync.Pool  // *searchCtx for concurrent Search
+	buildCtx   *searchCtx // construction reuse, guarded by mu
+	selScratch []vector.Neighbor
+	backCands  []vector.Neighbor
+	backSel    []vector.Neighbor
+}
+
+// searchCtx bundles the per-search working set — visited marks, frontier,
+// result accumulator, output buffer — so one pool hit covers all of them.
+type searchCtx struct {
+	visit    visitSet
+	frontier vector.MinHeap
+	best     vector.TopK
+	out      []vector.Neighbor
 }
 
 // New creates an empty index for vectors of the given dimensionality.
@@ -89,22 +127,88 @@ func New(dim int, cfg Config) *Index {
 		dim:    dim,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		levelF: 1 / math.Log(float64(cfg.M)),
+		dist:   cfg.Metric.Func(),
+		vecs:   vector.NewStore(dim),
 		entry:  -1,
 	}
-	ix.visitPool.New = func() any { return &visitSet{} }
+	ix.searchPool.New = func() any { return newSearchCtx() }
+	ix.buildCtx = newSearchCtx()
 	return ix
 }
 
+func newSearchCtx() *searchCtx {
+	ctx := &searchCtx{}
+	ctx.best.Reset(1)
+	return ctx
+}
+
 // Len reports the number of indexed vectors.
-func (ix *Index) Len() int { return len(ix.nodes) }
+func (ix *Index) Len() int { return len(ix.ids) }
 
 // Dim reports the vector dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 
-func (ix *Index) dist(a, b []float32) float32 { return ix.cfg.Metric.Dist(a, b) }
+// regionSize is the links-arena footprint of a node at the given level.
+func (ix *Index) regionSize(level int) int {
+	return (1 + 2*ix.cfg.M) + level*(1+ix.cfg.M)
+}
 
-// Add inserts a vector under an external id. The vector is retained (not
-// copied); callers must not mutate it afterwards.
+// blockStart returns the offset of node i's layer-l counted block.
+func (ix *Index) blockStart(i, l int) int {
+	off := ix.offs[i]
+	if l == 0 {
+		return off
+	}
+	return off + 1 + 2*ix.cfg.M + (l-1)*(1+ix.cfg.M)
+}
+
+// neighbors returns node i's layer-l links as a read view into the arena.
+func (ix *Index) neighbors(i, l int) []int32 {
+	bs := ix.blockStart(i, l)
+	n := int(ix.links[bs])
+	return ix.links[bs+1 : bs+1+n]
+}
+
+// layerCap is the link capacity at layer l (hnswlib's maxM/maxM0).
+func (ix *Index) layerCap(l int) int {
+	if l == 0 {
+		return 2 * ix.cfg.M
+	}
+	return ix.cfg.M
+}
+
+// appendLink adds one neighbour at distance d to node i's layer-l block;
+// the caller guarantees the block has room.
+func (ix *Index) appendLink(i, l int, nb int32, d float32) {
+	bs := ix.blockStart(i, l)
+	n := int(ix.links[bs])
+	ix.links[bs+1+n] = nb
+	ix.linkDists[bs+1+n] = d
+	ix.links[bs] = int32(n + 1)
+}
+
+// growLinks extends the links and linkDists arenas by n zeroed slots,
+// reusing capacity.
+func (ix *Index) growLinks(n int) {
+	l := len(ix.links)
+	if cap(ix.links) >= l+n {
+		ix.links = ix.links[:l+n]
+		clearRegion := ix.links[l:]
+		for i := range clearRegion {
+			clearRegion[i] = 0
+		}
+	} else {
+		ix.links = append(ix.links, make([]int32, n)...)
+	}
+	if cap(ix.linkDists) >= l+n {
+		ix.linkDists = ix.linkDists[:l+n]
+	} else {
+		ix.linkDists = append(ix.linkDists, make([]float32, n)...)
+	}
+}
+
+// Add inserts a vector under an external id. The vector is copied into the
+// index's arena; the caller keeps ownership of its slice.
 func (ix *Index) Add(id int, vec []float32) error {
 	if len(vec) != ix.dim {
 		return fmt.Errorf("hnsw: vector has dim %d, index wants %d", len(vec), ix.dim)
@@ -113,10 +217,16 @@ func (ix *Index) Add(id int, vec []float32) error {
 	defer ix.mu.Unlock()
 
 	level := ix.randomLevel()
-	n := &node{id: id, level: level, links: make([][]int32, level+1)}
-	ix.vecs = append(ix.vecs, vec)
-	ix.nodes = append(ix.nodes, n)
-	cur := len(ix.nodes) - 1
+	cur := len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	ix.levels = append(ix.levels, int32(level))
+	ix.offs = append(ix.offs, len(ix.links))
+	ix.growLinks(ix.regionSize(level))
+	ix.vecs.Append(vec)
+	if ix.cfg.Metric == vector.Cosine {
+		ix.cosNorms = append(ix.cosNorms, math.Sqrt(float64(vector.Dot(vec, vec))))
+	}
+	q := ix.vecs.At(cur)
 
 	if ix.entry < 0 {
 		ix.entry = cur
@@ -125,17 +235,23 @@ func (ix *Index) Add(id int, vec []float32) error {
 	}
 
 	ep := ix.entry
+	// Bind the metric to the new vector once: the whole insert's descent and
+	// beam searches share one query-specialized kernel (for cosine, the
+	// query norm is computed once here, not once per distance call).
+	qd := ix.queryDist(q)
 	// Greedy descent through layers above the new node's level.
 	for l := ix.maxL; l > level; l-- {
-		ep = ix.greedyClosest(vec, ep, l)
+		ep = ix.greedyClosest(qd, ep, l)
 	}
 	// Beam search + heuristic linking at each layer <= level.
 	for l := min(level, ix.maxL); l >= 0; l-- {
-		cands := ix.searchLayer(vec, ep, ix.cfg.EfConstruction, l)
-		selected := ix.selectHeuristic(vec, cands, ix.cfg.M)
+		cands := ix.searchLayer(qd, ep, ix.cfg.EfConstruction, l, ix.buildCtx)
+		selected := ix.selectHeuristic(cands, ix.cfg.M, &ix.selScratch)
 		for _, s := range selected {
-			n.links[l] = append(n.links[l], int32(s.ID))
-			ix.linkBack(s.ID, cur, l)
+			// s.Dist is dist(new, s); the metric is symmetric, so the
+			// reverse edge carries the same distance.
+			ix.appendLink(cur, l, int32(s.ID), s.Dist)
+			ix.linkBack(s.ID, cur, l, s.Dist)
 		}
 		if len(cands) > 0 {
 			ep = cands[0].ID
@@ -146,6 +262,50 @@ func (ix *Index) Add(id int, vec []float32) error {
 		ix.entry = cur
 	}
 	return nil
+}
+
+// nodeDist is the distance between two stored nodes, through the cached-norm
+// cosine fast path when available and without a closure hop for the
+// pipeline's CosineUnit metric.
+func (ix *Index) nodeDist(i, j int) float32 {
+	switch {
+	case ix.cosNorms != nil:
+		ni, nj := ix.cosNorms[i], ix.cosNorms[j]
+		if ni == 0 || nj == 0 {
+			return 1 // CosineSim defines zero-vector similarity as 0
+		}
+		return 1 - vector.Dot(ix.vecs.At(i), ix.vecs.At(j))/float32(ni*nj)
+	case ix.cfg.Metric == vector.CosineUnit:
+		return 1 - vector.Dot(ix.vecs.At(i), ix.vecs.At(j))
+	default:
+		return ix.dist(ix.vecs.At(i), ix.vecs.At(j))
+	}
+}
+
+// queryDist binds q to a node-indexed distance kernel for one search. With
+// cached cosine norms the per-node cost is one Dot; CosineUnit and Euclidean
+// get direct single-closure kernels (every distance call in a beam search
+// pays the call overhead, so closure-over-closure layering shows up); other
+// metrics defer to the metric's query-specialized kernel.
+func (ix *Index) queryDist(q []float32) func(int) float32 {
+	switch {
+	case ix.cosNorms != nil:
+		qn := math.Sqrt(float64(vector.Dot(q, q)))
+		return func(i int) float32 {
+			ni := ix.cosNorms[i]
+			if qn == 0 || ni == 0 {
+				return 1
+			}
+			return 1 - vector.Dot(q, ix.vecs.At(i))/float32(qn*ni)
+		}
+	case ix.cfg.Metric == vector.CosineUnit:
+		return func(i int) float32 { return 1 - vector.Dot(q, ix.vecs.At(i)) }
+	case ix.cfg.Metric == vector.Euclidean:
+		return func(i int) float32 { return vector.EuclideanDist(q, ix.vecs.At(i)) }
+	default:
+		qf := ix.cfg.Metric.QueryFunc(q)
+		return func(i int) float32 { return qf(ix.vecs.At(i)) }
+	}
 }
 
 // AddBatch inserts vectors ids[i] -> vecs[i] sequentially.
@@ -171,15 +331,15 @@ func (ix *Index) randomLevel() int {
 	return int(-math.Log(u) * ix.levelF)
 }
 
-// greedyClosest walks layer l greedily from ep towards q, returning the
-// local minimum.
-func (ix *Index) greedyClosest(q []float32, ep, l int) int {
+// greedyClosest walks layer l greedily from ep towards the query bound in
+// qd, returning the local minimum.
+func (ix *Index) greedyClosest(qd func(int) float32, ep, l int) int {
 	cur := ep
-	curDist := ix.dist(q, ix.vecs[cur])
+	curDist := qd(cur)
 	for {
 		improved := false
-		for _, nb := range ix.nodes[cur].links[l] {
-			d := ix.dist(q, ix.vecs[nb])
+		for _, nb := range ix.neighbors(cur, l) {
+			d := qd(int(nb))
 			if d < curDist {
 				cur, curDist = int(nb), d
 				improved = true
@@ -222,54 +382,57 @@ func (v *visitSet) visit(i int32) bool {
 }
 
 // searchLayer is Algorithm 2 of the HNSW paper: best-first beam search with
-// width ef at layer l, returning up to ef results sorted by distance.
-func (ix *Index) searchLayer(q []float32, ep, ef, l int) []vector.Neighbor {
-	v := ix.visitPool.Get().(*visitSet)
-	defer ix.visitPool.Put(v)
-	v.reset(len(ix.nodes))
-	v.visit(int32(ep))
-	epDist := ix.dist(q, ix.vecs[ep])
+// width ef at layer l, returning up to ef results sorted by distance. The
+// returned slice is ctx.out — valid until the ctx's next search.
+func (ix *Index) searchLayer(qd func(int) float32, ep, ef, l int, ctx *searchCtx) []vector.Neighbor {
+	ctx.visit.reset(len(ix.ids))
+	ctx.visit.visit(int32(ep))
+	epDist := qd(ep)
 
-	var frontier vector.MinHeap
-	frontier.Push(vector.Neighbor{ID: ep, Dist: epDist})
-	best := vector.NewTopK(ef)
+	ctx.frontier.Reset()
+	ctx.frontier.Push(vector.Neighbor{ID: ep, Dist: epDist})
+	best := &ctx.best
+	best.Reset(ef)
 	best.Push(ep, epDist)
 
-	for frontier.Len() > 0 {
-		c := frontier.Pop()
+	for ctx.frontier.Len() > 0 {
+		c := ctx.frontier.Pop()
 		if best.Full() && c.Dist > best.Worst() {
 			break
 		}
-		for _, nb := range ix.nodes[c.ID].links[l] {
-			if v.visit(nb) {
+		for _, nb := range ix.neighbors(c.ID, l) {
+			if ctx.visit.visit(nb) {
 				continue
 			}
-			d := ix.dist(q, ix.vecs[nb])
+			d := qd(int(nb))
 			if !best.Full() || d < best.Worst() {
 				best.Push(int(nb), d)
-				frontier.Push(vector.Neighbor{ID: int(nb), Dist: d})
+				ctx.frontier.Push(vector.Neighbor{ID: int(nb), Dist: d})
 			}
 		}
 	}
-	return best.Results()
+	ctx.out = best.ResultsAppend(ctx.out[:0])
+	return ctx.out
 }
 
 // selectHeuristic is Algorithm 4 of the HNSW paper: pick up to m neighbours
-// from candidates (sorted by distance), skipping any candidate that is
-// closer to an already-selected neighbour than to the query. This spreads
-// links across clusters and preserves graph navigability.
-func (ix *Index) selectHeuristic(q []float32, cands []vector.Neighbor, m int) []vector.Neighbor {
+// from candidates (sorted by distance to the query), skipping any candidate
+// that is closer to an already-selected neighbour than to the query. This
+// spreads links across clusters and preserves graph navigability. scratch
+// backs the result when selection is needed; when candidates already fit,
+// cands is returned as-is.
+func (ix *Index) selectHeuristic(cands []vector.Neighbor, m int, scratch *[]vector.Neighbor) []vector.Neighbor {
 	if len(cands) <= m {
 		return cands
 	}
-	selected := make([]vector.Neighbor, 0, m)
+	selected := (*scratch)[:0]
 	for _, c := range cands {
 		if len(selected) == m {
 			break
 		}
 		ok := true
 		for _, s := range selected {
-			if ix.dist(ix.vecs[c.ID], ix.vecs[s.ID]) < c.Dist {
+			if ix.nodeDist(c.ID, s.ID) < c.Dist {
 				ok = false
 				break
 			}
@@ -279,46 +442,54 @@ func (ix *Index) selectHeuristic(q []float32, cands []vector.Neighbor, m int) []
 		}
 	}
 	// Backfill with nearest skipped candidates if the heuristic was too
-	// aggressive (hnswlib's keepPrunedConnections behaviour).
-	if len(selected) < m {
-		chosen := make(map[int]bool, len(selected))
-		for _, s := range selected {
-			chosen[s.ID] = true
-		}
+	// aggressive (hnswlib's keepPrunedConnections behaviour). The picks so
+	// far are a subsequence of cands in order, so a two-pointer scan finds
+	// the skipped ones without the map the old implementation allocated on
+	// every overflowing linkBack.
+	if nsel := len(selected); nsel < m {
+		si := 0
 		for _, c := range cands {
 			if len(selected) == m {
 				break
 			}
-			if !chosen[c.ID] {
-				selected = append(selected, c)
+			if si < nsel && selected[si].ID == c.ID {
+				si++
+				continue
 			}
+			selected = append(selected, c)
 		}
 	}
+	*scratch = selected
 	return selected
 }
 
-// linkBack adds a reverse edge from node at internal index from to the new
-// node, shrinking the neighbour list with the heuristic when it overflows.
-func (ix *Index) linkBack(from, to, l int) {
-	n := ix.nodes[from]
-	n.links[l] = append(n.links[l], int32(to))
-	maxM := ix.cfg.M
-	if l == 0 {
-		maxM = 2 * ix.cfg.M
-	}
-	if len(n.links[l]) <= maxM {
+// linkBack adds a reverse edge at distance d from the node at internal
+// index from to the new node, shrinking the neighbour list with the
+// heuristic when it is full. Candidate distances for the shrink come from
+// the link-distance cache — no kernel calls to gather them.
+func (ix *Index) linkBack(from, to, l int, d float32) {
+	bs := ix.blockStart(from, l)
+	cnt := int(ix.links[bs])
+	maxM := ix.layerCap(l)
+	if cnt < maxM {
+		ix.links[bs+1+cnt] = int32(to)
+		ix.linkDists[bs+1+cnt] = d
+		ix.links[bs] = int32(cnt + 1)
 		return
 	}
-	cands := make([]vector.Neighbor, 0, len(n.links[l]))
-	for _, nb := range n.links[l] {
-		cands = append(cands, vector.Neighbor{ID: int(nb), Dist: ix.dist(ix.vecs[from], ix.vecs[nb])})
+	cands := ix.backCands[:0]
+	for k, nb := range ix.links[bs+1 : bs+1+cnt] {
+		cands = append(cands, vector.Neighbor{ID: int(nb), Dist: ix.linkDists[bs+1+k]})
 	}
+	cands = append(cands, vector.Neighbor{ID: to, Dist: d})
+	ix.backCands = cands
 	sortNeighbors(cands)
-	kept := ix.selectHeuristic(ix.vecs[from], cands, maxM)
-	n.links[l] = n.links[l][:0]
-	for _, kn := range kept {
-		n.links[l] = append(n.links[l], int32(kn.ID))
+	kept := ix.selectHeuristic(cands, maxM, &ix.backSel)
+	for i, kn := range kept {
+		ix.links[bs+1+i] = int32(kn.ID)
+		ix.linkDists[bs+1+i] = kn.Dist
 	}
+	ix.links[bs] = int32(len(kept))
 }
 
 // Search returns the (approximately) k nearest stored vectors to q, sorted
@@ -334,18 +505,21 @@ func (ix *Index) Search(q []float32, k, ef int) []vector.Neighbor {
 	if ef < k {
 		ef = k
 	}
+	ctx := ix.searchPool.Get().(*searchCtx)
+	defer ix.searchPool.Put(ctx)
+	qd := ix.queryDist(q)
 	ep := ix.entry
 	for l := ix.maxL; l > 0; l-- {
-		ep = ix.greedyClosest(q, ep, l)
+		ep = ix.greedyClosest(qd, ep, l)
 	}
-	res := ix.searchLayer(q, ep, ef, 0)
+	res := ix.searchLayer(qd, ep, ef, 0, ctx)
 	if len(res) > k {
 		res = res[:k]
 	}
 	// Translate internal indexes to external ids.
 	out := make([]vector.Neighbor, len(res))
 	for i, r := range res {
-		out[i] = vector.Neighbor{ID: ix.nodes[r.ID].id, Dist: r.Dist}
+		out[i] = vector.Neighbor{ID: ix.ids[r.ID], Dist: r.Dist}
 	}
 	return out
 }

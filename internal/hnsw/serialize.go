@@ -2,8 +2,10 @@ package hnsw
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/binio"
 	"repro/internal/vector"
@@ -12,18 +14,30 @@ import (
 // Binary index format (all integers little-endian):
 //
 //	magic    [8]byte  "HNSWIDX\n"
-//	version  uint32   currently 1
+//	version  uint32   currently 2
 //	config   M, EfConstruction, EfSearch, Metric as int32; Seed as int64
 //	shape    dim, count, entry, maxL as int32 (entry is -1 when empty)
-//	nodes    count × { id int64; level int32; per layer: nLinks int32, links []int32 }
-//	vectors  count × dim × float32 (IEEE-754 bits)
+//	ids      count × int64
+//	levels   count × int32
+//	links    count × { per layer 0..level: nLinks int32, links []int32 }
+//	vectors  count × dim × float32, the whole arena as one block
 //
 // The format captures the complete index state — levels, links, and vectors —
 // so a loaded index answers every query exactly as the index that was saved.
+//
+// Version 1 interleaved ids/levels/links per node and the vectors as
+// per-node records; version 2 stores each as its own section so the loader
+// rebuilds the flat in-memory layout (vector arena, CSR-style links) with
+// bulk reads instead of count*dim scalar reads.
 
 var magic = [8]byte{'H', 'N', 'S', 'W', 'I', 'D', 'X', '\n'}
 
-const formatVersion = 1
+const formatVersion = 2
+
+// ErrFormatVersion is wrapped by Load when the file's format version is not
+// the one this build writes; callers distinguish "old index file, rebuild
+// it" from corruption with errors.Is.
+var ErrFormatVersion = errors.New("hnsw: unsupported index format version")
 
 // Corruption bounds: a bad count in a tiny file must fail with an error, not
 // a multi-gigabyte allocation. Genuine indexes stay far inside these.
@@ -51,22 +65,25 @@ func (ix *Index) Save(w io.Writer) error {
 	binio.WriteI32(bw, int32(ix.cfg.Metric))
 	binio.WriteI64(bw, ix.cfg.Seed)
 	binio.WriteI32(bw, int32(ix.dim))
-	binio.WriteI32(bw, int32(len(ix.nodes)))
+	binio.WriteI32(bw, int32(len(ix.ids)))
 	binio.WriteI32(bw, int32(ix.entry))
 	binio.WriteI32(bw, int32(ix.maxL))
-	for _, n := range ix.nodes {
-		binio.WriteI64(bw, int64(n.id))
-		binio.WriteI32(bw, int32(n.level))
-		for l := 0; l <= n.level; l++ {
-			binio.WriteI32(bw, int32(len(n.links[l])))
-			for _, nb := range n.links[l] {
+	for _, id := range ix.ids {
+		binio.WriteI64(bw, int64(id))
+	}
+	for _, lv := range ix.levels {
+		binio.WriteI32(bw, lv)
+	}
+	for i := range ix.ids {
+		for l := 0; l <= int(ix.levels[i]); l++ {
+			nbs := ix.neighbors(i, l)
+			binio.WriteI32(bw, int32(len(nbs)))
+			for _, nb := range nbs {
 				binio.WriteI32(bw, nb)
 			}
 		}
 	}
-	for _, v := range ix.vecs {
-		binio.WriteVec(bw, v)
-	}
+	binio.WriteF32s(bw, ix.vecs.Raw())
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("hnsw: save: %w", err)
 	}
@@ -76,7 +93,8 @@ func (ix *Index) Save(w io.Writer) error {
 // Load reads an index previously written by Save. The returned index is an
 // exact reconstruction: searches return identical results, and subsequent
 // Adds draw node levels from the same point in the seeded random stream as
-// they would have on the original index.
+// they would have on the original index. A file written by an older format
+// version fails with an error wrapping ErrFormatVersion.
 func Load(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
@@ -89,7 +107,7 @@ func Load(r io.Reader) (*Index, error) {
 	rd := binio.NewReader(br)
 	version := rd.U32()
 	if rd.Err() == nil && version != formatVersion {
-		return nil, fmt.Errorf("hnsw: load: unsupported format version %d (want %d)", version, formatVersion)
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrFormatVersion, version, formatVersion)
 	}
 
 	var cfg Config
@@ -124,9 +142,14 @@ func Load(r io.Reader) (*Index, error) {
 	ix := New(dim, cfg)
 	ix.entry = entry
 	ix.maxL = maxL
-	ix.nodes = make([]*node, count)
-	for i := range ix.nodes {
-		id := rd.I64()
+	ix.ids = make([]int, count)
+	for i := range ix.ids {
+		ix.ids[i] = int(rd.I64())
+	}
+	ix.levels = make([]int32, count)
+	ix.offs = make([]int, count)
+	total := 0
+	for i := range ix.levels {
 		level := rd.I32()
 		if rd.Err() != nil {
 			return nil, fmt.Errorf("hnsw: load: node %d: %w", i, rd.Err())
@@ -137,50 +160,84 @@ func Load(r io.Reader) (*Index, error) {
 		if level < 0 || level > maxSaneLevel {
 			return nil, fmt.Errorf("hnsw: load: node %d has implausible level %d", i, level)
 		}
-		n := &node{id: int(id), level: level, links: make([][]int32, level+1)}
-		for l := 0; l <= level; l++ {
+		ix.levels[i] = int32(level)
+		ix.offs[i] = total
+		total += ix.regionSize(level)
+	}
+	// Grow the links arena per node as its data actually arrives, never from
+	// the header's promise alone: a crafted count/level combination within
+	// the individual bounds above could still multiply to terabytes, and a
+	// short file must fail with an error at its first missing byte — like
+	// the per-record v1 loader did — not with an up-front allocation panic.
+	for i := 0; i < count; i++ {
+		ix.growLinks(ix.regionSize(int(ix.levels[i])))
+		for l := 0; l <= int(ix.levels[i]); l++ {
 			nLinks := rd.I32()
 			if rd.Err() != nil {
 				return nil, fmt.Errorf("hnsw: load: node %d layer %d: %w", i, l, rd.Err())
 			}
-			// Construction never keeps more than 2*M links per layer.
-			if nLinks < 0 || nLinks > 2*cfg.M {
+			// Construction never exceeds the per-layer capacity (2*M at
+			// layer 0, M above); more would overflow the flat region.
+			if nLinks < 0 || nLinks > ix.layerCap(l) {
 				return nil, fmt.Errorf("hnsw: load: node %d layer %d has implausible link count %d", i, l, nLinks)
 			}
-			links := make([]int32, nLinks)
-			for j := range links {
+			bs := ix.blockStart(i, l)
+			ix.links[bs] = int32(nLinks)
+			for j := 0; j < nLinks; j++ {
 				nb := int32(rd.I32())
 				if nb < 0 || int(nb) >= count {
 					return nil, fmt.Errorf("hnsw: load: node %d layer %d links to out-of-range node %d", i, l, nb)
 				}
-				links[j] = nb
+				// Every layer-l link must target a node that exists at
+				// layer l: greedyClosest reads the target's layer-l block
+				// directly, so a link down to a lower-level node would read
+				// out of the target's region on the first Search.
+				if int(ix.levels[nb]) < l {
+					return nil, fmt.Errorf("hnsw: load: node %d layer %d links to node %d of level %d", i, l, nb, ix.levels[nb])
+				}
+				ix.links[bs+1+j] = nb
 			}
-			n.links[l] = links
 		}
-		ix.nodes[i] = n
 	}
 	// Construction keeps the entry point at the highest level; a file that
-	// violates that would make Search read past a node's links.
-	if entry >= 0 && ix.nodes[entry].level != maxL {
-		return nil, fmt.Errorf("hnsw: load: entry node level %d does not match maxL %d", ix.nodes[entry].level, maxL)
+	// violates that would make Search read past the entry's region.
+	if entry >= 0 && int(ix.levels[entry]) != maxL {
+		return nil, fmt.Errorf("hnsw: load: entry node level %d does not match maxL %d", ix.levels[entry], maxL)
 	}
-	// Every layer-l link must target a node that exists at layer l:
-	// greedyClosest indexes target.links[l] directly, so a link down to a
-	// lower-level node would panic the first Search.
-	for i, n := range ix.nodes {
-		for l, links := range n.links {
-			for _, nb := range links {
-				if ix.nodes[nb].level < l {
-					return nil, fmt.Errorf("hnsw: load: node %d layer %d links to node %d of level %d", i, l, nb, ix.nodes[nb].level)
-				}
-			}
+	// Read the vector arena in bounded row chunks for the same reason: the
+	// bytes must exist before the next chunk's memory does.
+	const rowChunk = 4096
+	for read := 0; read < count; {
+		n := count - read
+		if n > rowChunk {
+			n = rowChunk
+		}
+		ix.vecs.Grow(n)
+		rd.F32s(ix.vecs.Raw()[read*dim : (read+n)*dim])
+		if rd.Err() != nil {
+			return nil, fmt.Errorf("hnsw: load: vectors: %w", rd.Err())
+		}
+		read += n
+	}
+	// Rebuild the cosine norm cache from the arena; identical inputs give
+	// identical norms, so a loaded index computes identical distances.
+	if cfg.Metric == vector.Cosine {
+		ix.cosNorms = make([]float64, count)
+		for i := range ix.cosNorms {
+			v := ix.vecs.At(i)
+			ix.cosNorms[i] = math.Sqrt(float64(vector.Dot(v, v)))
 		}
 	}
-	ix.vecs = make([][]float32, count)
-	for i := range ix.vecs {
-		ix.vecs[i] = rd.Vec(dim)
-		if rd.Err() != nil {
-			return nil, fmt.Errorf("hnsw: load: vector %d: %w", i, rd.Err())
+	// Rebuild the link-distance cache (not persisted: it is derived state;
+	// growLinks above already sized it alongside links). Kernels are
+	// deterministic, so the recomputed values equal the ones the original
+	// build cached and post-load Adds shrink identically.
+	for i := 0; i < count; i++ {
+		for l := 0; l <= int(ix.levels[i]); l++ {
+			bs := ix.blockStart(i, l)
+			for k, nb := range ix.neighbors(i, l) {
+				ix.linkDists[bs+1+k] = ix.nodeDist(i, int(nb))
+			}
 		}
 	}
 	// Advance the level-sampling stream past the draws the original build
@@ -199,9 +256,7 @@ func (ix *Index) Config() Config { return ix.cfg }
 // Callers that use ids as indexes into their own state (e.g. the matcher's
 // tuple table) can validate a loaded index against it.
 func (ix *Index) IDs() []int {
-	out := make([]int, len(ix.nodes))
-	for i, n := range ix.nodes {
-		out[i] = n.id
-	}
+	out := make([]int, len(ix.ids))
+	copy(out, ix.ids)
 	return out
 }

@@ -2,6 +2,7 @@ package hnsw
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -196,5 +197,46 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	b[8] = 99 // bump the version field
 	if _, err := Load(bytes.NewReader(b)); err == nil {
 		t.Fatal("Load accepted an unsupported format version")
+	}
+}
+
+// A short file whose header promises a large-but-individually-plausible node
+// count must fail with a clean error at the first missing byte — allocation
+// must track bytes actually read, not the header's promise.
+func TestLoadShortFileWithLargeCountFails(t *testing.T) {
+	ix := buildIndex(t, randomUnitVecs(20, 4, 1), Config{M: 4})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	b := append([]byte(nil), buf.Bytes()...)
+	// count field at offset 40: claim 2^20 nodes (inside maxSaneCount) in a
+	// file that only carries 20.
+	count := uint32(1 << 20)
+	b[40], b[41], b[42], b[43] = byte(count), byte(count>>8), byte(count>>16), byte(count>>24)
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Fatal("Load accepted a short file with an inflated node count")
+	}
+}
+
+// A file from a previous format version must fail with the named
+// ErrFormatVersion — distinguishable from corruption — not be misparsed
+// into garbage.
+func TestLoadOldVersionFailsWithNamedError(t *testing.T) {
+	ix := buildIndex(t, randomUnitVecs(10, 4, 1), Config{M: 4})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	for _, old := range []byte{1, 0} {
+		b := append([]byte(nil), buf.Bytes()...)
+		b[8] = old // version field, little-endian low byte
+		_, err := Load(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("Load accepted version %d", old)
+		}
+		if !errors.Is(err, ErrFormatVersion) {
+			t.Fatalf("version-%d error %v does not wrap ErrFormatVersion", old, err)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package multiem
 import (
 	"math/rand"
 
+	"repro/internal/embed"
 	"repro/internal/table"
 	"repro/internal/vector"
 )
@@ -54,7 +55,7 @@ func SelectAttributes(d *table.Dataset, opt Options) ([]AttrScore, []int) {
 	for i, e := range sample {
 		texts[i] = table.Serialize(e, nil)
 	}
-	base := opt.Encoder.EncodeBatch(texts)
+	base := embed.BatchStore(opt.Encoder, texts)
 
 	scores := make([]AttrScore, schema.Len())
 	shuffled := make([]string, n)
@@ -71,12 +72,12 @@ func SelectAttributes(d *table.Dataset, opt Options) ([]AttrScore, []int) {
 		for i, e := range sample {
 			shuffled[i] = serializeWithOverride(e, j, column[i])
 		}
-		newEmb := opt.Encoder.EncodeBatch(shuffled)
+		newEmb := embed.BatchStore(opt.Encoder, shuffled)
 
 		// Mean similarity between old and new embeddings (line 9).
 		var sum float32
-		for i := range base {
-			sum += vector.CosineSim(base[i], newEmb[i])
+		for i := 0; i < n; i++ {
+			sum += vector.CosineSim(base.At(i), newEmb.At(i))
 		}
 		mean := sum / float32(n)
 		scores[j] = AttrScore{

@@ -2,6 +2,7 @@ package multiem
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -64,11 +65,11 @@ type MatcherStats struct {
 	Attrs []string `json:"attrs"`
 }
 
-// tupleState is one tracked tuple: its member entity positions, the unit-norm
-// centroid of their embeddings, and merge-path provenance.
+// tupleState is one tracked tuple: its member entity positions and
+// merge-path provenance. The tuple's unit-norm centroid lives in the
+// matcher's centroid arena at the tuple's index.
 type tupleState struct {
 	members     []int
-	centroid    []float32
 	maxJoinDist float32
 }
 
@@ -88,18 +89,25 @@ type tupleState struct {
 type Matcher struct {
 	mu  sync.RWMutex
 	opt Options
-	dim int
+	// dist is opt.MergeMetric resolved once; Match and AddRecords re-rank
+	// candidates with it on every query.
+	dist vector.DistFunc
+	dim  int
 	// schema is the attribute list incoming records must follow.
 	schema []string
 	// selected are the schema positions used for serialization; nil means
 	// all attributes (the pipeline's fast path).
 	selected []int
 	entIDs   []int
-	entVecs  [][]float32
-	tuples   []tupleState
-	index    *hnsw.Index
-	nextID   int
-	result   *Result // pipeline output; nil when loaded from disk
+	// entVecs is the entity-embedding arena: row = entity position.
+	entVecs *vector.Store
+	tuples  []tupleState
+	// centroids is the tuple-centroid arena, row = tuple index, kept
+	// aligned with tuples.
+	centroids *vector.Store
+	index     *hnsw.Index
+	nextID    int
+	result    *Result // pipeline output; nil when loaded from disk
 }
 
 // BuildMatcher runs the full MultiEM pipeline on the dataset and wraps the
@@ -115,6 +123,7 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 
 	m := &Matcher{
 		opt:     opt,
+		dist:    opt.MergeMetric.Func(),
 		dim:     opt.Encoder.Dim(),
 		schema:  append([]string(nil), d.Schema().Attrs...),
 		entVecs: st.entVecs,
@@ -132,20 +141,31 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 	}
 
 	covered := make([]bool, len(st.ents))
+	for _, pos := range st.posTuples {
+		for _, p := range pos {
+			covered[p] = true
+		}
+	}
+	nSingle := 0
+	for _, c := range covered {
+		if !c {
+			nSingle++
+		}
+	}
+	m.centroids = vector.NewStoreWithCap(m.dim, len(st.posTuples)+nSingle)
 	for ti, pos := range st.posTuples {
 		ts := tupleState{
 			members:     append([]int(nil), pos...),
 			maxJoinDist: 2 * float32(1-st.res.Confidences[ti]),
 		}
-		ts.centroid = centroidOf(ts.members, st.entVecs)
-		for _, p := range pos {
-			covered[p] = true
-		}
+		row := m.centroids.AppendZero()
+		centroidInto(m.centroids.At(row), ts.members, st.entVecs)
 		m.tuples = append(m.tuples, ts)
 	}
 	for p := range covered {
 		if !covered[p] {
-			m.tuples = append(m.tuples, tupleState{members: []int{p}, centroid: st.entVecs[p]})
+			m.centroids.Append(st.entVecs.At(p))
+			m.tuples = append(m.tuples, tupleState{members: []int{p}})
 		}
 	}
 
@@ -160,27 +180,41 @@ func (m *Matcher) buildIndex() error {
 	cfg := m.opt.HNSW
 	cfg.Metric = m.opt.MergeMetric
 	m.index = hnsw.New(m.dim, cfg)
-	for ti, ts := range m.tuples {
-		if err := m.index.Add(ti, ts.centroid); err != nil {
+	for ti := range m.tuples {
+		if err := m.index.Add(ti, m.centroids.At(ti)); err != nil {
 			return fmt.Errorf("multiem: matcher index: %w", err)
 		}
 	}
 	return nil
 }
 
-// centroidOf returns the unit-norm mean embedding of the member positions.
-// Both the merging phase and the online matcher derive tuple centroids
-// through it, so the two can never diverge.
-func centroidOf(members []int, entVecs [][]float32) []float32 {
+// centroidInto writes the unit-norm mean embedding of the member positions
+// into dst. Both the merging phase and the online matcher derive tuple
+// centroids through it, so the two can never diverge.
+func centroidInto(dst []float32, members []int, entVecs *vector.Store) {
 	if len(members) == 1 {
-		return entVecs[members[0]]
+		copy(dst, entVecs.At(members[0]))
+		return
 	}
-	out := make([]float32, len(entVecs[members[0]]))
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, pos := range members {
-		vector.Add(out, entVecs[pos])
+		vector.Add(dst, entVecs.At(pos))
 	}
-	vector.Scale(out, 1/float32(len(members)))
-	return vector.Normalize(out)
+	vector.Scale(dst, 1/float32(len(members)))
+	vector.Normalize(dst)
+}
+
+// centroidOf is centroidInto into a fresh vector; the merging phase uses it
+// for transient merged items.
+func centroidOf(members []int, entVecs *vector.Store) []float32 {
+	if len(members) == 1 {
+		return entVecs.At(members[0])
+	}
+	out := make([]float32, entVecs.Dim())
+	centroidInto(out, members, entVecs)
+	return out
 }
 
 // Result returns the pipeline output the matcher was built from, or nil for
@@ -252,7 +286,7 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 		// Distance against the current centroid, not the possibly stale
 		// indexed vector. Clamp: float rounding can push an exact
 		// self-match a hair below zero.
-		d := m.opt.MergeMetric.Dist(q, m.tuples[r.ID].centroid)
+		d := m.dist(q, m.centroids.At(r.ID))
 		if d < 0 {
 			d = 0
 		}
@@ -317,17 +351,17 @@ func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 	out := make([]AddResult, 0, len(rows))
 	for _, values := range rows {
 		vec := m.embed(values)
-		pos := len(m.entVecs)
+		pos := m.entVecs.Len()
 		id := m.nextID
 		m.nextID++
 		m.entIDs = append(m.entIDs, id)
-		m.entVecs = append(m.entVecs, vec)
+		m.entVecs.Append(vec)
 
 		var best vector.Neighbor
 		best.ID = -1
 		if vector.Norm(vec) > 0 {
 			for _, r := range m.index.Search(vec, 8, m.opt.EfSearch) {
-				d := m.opt.MergeMetric.Dist(vec, m.tuples[r.ID].centroid)
+				d := m.dist(vec, m.centroids.At(r.ID))
 				if best.ID < 0 || d < best.Dist {
 					best = vector.Neighbor{ID: r.ID, Dist: d}
 				}
@@ -338,7 +372,7 @@ func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 			ti := best.ID
 			ts := &m.tuples[ti]
 			ts.members = append(ts.members, pos)
-			ts.centroid = centroidOf(ts.members, m.entVecs)
+			centroidInto(m.centroids.At(ti), ts.members, m.entVecs)
 			if best.Dist > ts.maxJoinDist {
 				ts.maxJoinDist = best.Dist
 			}
@@ -346,13 +380,14 @@ func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 			// previous entry goes stale and Match/AddRecords re-rank
 			// against current centroids, so it only costs a little recall
 			// head-room, not correctness.
-			m.index.Add(ti, ts.centroid)
+			m.index.Add(ti, m.centroids.At(ti))
 			out = append(out, AddResult{EntityID: id, Tuple: ti, Absorbed: true, Distance: best.Dist})
 			continue
 		}
 
 		ti := len(m.tuples)
-		m.tuples = append(m.tuples, tupleState{members: []int{pos}, centroid: vec})
+		m.tuples = append(m.tuples, tupleState{members: []int{pos}})
+		m.centroids.Append(vec)
 		m.index.Add(ti, vec)
 		out = append(out, AddResult{EntityID: id, Tuple: ti, Absorbed: false})
 	}
@@ -403,22 +438,31 @@ func (m *Matcher) Tuples() ([][]int, []float64) {
 	return tuples, confs
 }
 
-// Matcher binary format (little-endian), version 1:
+// Matcher binary format (little-endian), version 2:
 //
-//	magic    [8]byte  "MEMMATC\n"
-//	version  uint32
-//	dim      int32
-//	nextID   int64
-//	schema   count + length-prefixed strings
-//	selected count (-1 = all attributes) + int32 positions
-//	entities count × { id int64; vec dim × float32 }
-//	tuples   count × { nMembers int32; members []int32; maxJoinDist f32;
-//	                   centroid dim × float32 }
-//	index    embedded hnsw.Index (its own versioned format)
+//	magic     [8]byte  "MEMMATC\n"
+//	version   uint32
+//	dim       int32
+//	nextID    int64
+//	schema    count + length-prefixed strings
+//	selected  count (-1 = all attributes) + int32 positions
+//	entIDs    count + count × int64
+//	entVecs   count × dim × float32, the embedding arena as one block
+//	tuples    count × { nMembers int32; members []int32; maxJoinDist f32 }
+//	centroids count × dim × float32, the centroid arena as one block
+//	index     embedded hnsw.Index (its own versioned format)
+//
+// Version 1 interleaved vectors with their owning records; version 2 writes
+// each arena as a single block, matching the in-memory layout.
 
 var matcherMagic = [8]byte{'M', 'E', 'M', 'M', 'A', 'T', 'C', '\n'}
 
-const matcherFormatVersion = 1
+const matcherFormatVersion = 2
+
+// ErrFormatVersion is wrapped by LoadMatcher when the file's format version
+// is not the one this build writes; callers distinguish "old matcher file,
+// rebuild it" from corruption with errors.Is.
+var ErrFormatVersion = errors.New("multiem: unsupported matcher format version")
 
 // Corruption bounds, mirroring the hnsw serializer: a bad count in a tiny
 // file must fail with an error, not a multi-gigabyte allocation.
@@ -426,6 +470,7 @@ const (
 	maxSaneCount  = 1 << 26
 	maxSaneSchema = 1 << 20
 	maxSaneStr    = 1 << 20
+	maxSaneDim    = 1 << 20
 )
 
 // Save writes the matcher's complete state — embeddings, tuples, and the
@@ -455,10 +500,10 @@ func (m *Matcher) Save(w io.Writer) error {
 		}
 	}
 	binio.WriteI32(bw, int32(len(m.entIDs)))
-	for i, id := range m.entIDs {
+	for _, id := range m.entIDs {
 		binio.WriteI64(bw, int64(id))
-		binio.WriteVec(bw, m.entVecs[i])
 	}
+	binio.WriteF32s(bw, m.entVecs.Raw())
 	binio.WriteI32(bw, int32(len(m.tuples)))
 	for _, ts := range m.tuples {
 		binio.WriteI32(bw, int32(len(ts.members)))
@@ -466,12 +511,34 @@ func (m *Matcher) Save(w io.Writer) error {
 			binio.WriteI32(bw, int32(p))
 		}
 		binio.WriteF32(bw, ts.maxJoinDist)
-		binio.WriteVec(bw, ts.centroid)
 	}
+	binio.WriteF32s(bw, m.centroids.Raw())
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("multiem: save matcher: %w", err)
 	}
 	return m.index.Save(w)
+}
+
+// readArena reads rows vectors into the store in bounded chunks, so the
+// allocation never outruns the bytes actually present: a corrupt count in a
+// short file fails with an error at the first missing byte instead of an
+// up-front arena allocation sized by the header's promise.
+func readArena(rd *binio.Reader, s *vector.Store, rows int) error {
+	const rowChunk = 4096
+	dim := s.Dim()
+	for read := 0; read < rows; {
+		n := rows - read
+		if n > rowChunk {
+			n = rowChunk
+		}
+		s.Grow(n)
+		rd.F32s(s.Raw()[read*dim : (read+n)*dim])
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		read += n
+	}
+	return nil
 }
 
 // LoadMatcher reads a matcher written by Save. opt supplies the runtime
@@ -496,16 +563,16 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 	rd := binio.NewReader(br)
 	version := rd.U32()
 	if rd.Err() == nil && version != matcherFormatVersion {
-		return nil, fmt.Errorf("multiem: load matcher: unsupported format version %d (want %d)", version, matcherFormatVersion)
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrFormatVersion, version, matcherFormatVersion)
 	}
 
-	m := &Matcher{opt: opt}
+	m := &Matcher{opt: opt, dist: opt.MergeMetric.Func()}
 	m.dim = rd.I32()
 	m.nextID = int(rd.I64())
 	if rd.Err() != nil {
 		return nil, fmt.Errorf("multiem: load matcher: %w", rd.Err())
 	}
-	if m.dim <= 0 {
+	if m.dim <= 0 || m.dim > maxSaneDim {
 		return nil, fmt.Errorf("multiem: load matcher: corrupt dim %d", m.dim)
 	}
 	if got := opt.Encoder.Dim(); got != m.dim {
@@ -540,11 +607,9 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 		return nil, fmt.Errorf("multiem: load matcher: corrupt entity count %d", nEnts)
 	}
 	m.entIDs = make([]int, nEnts)
-	m.entVecs = make([][]float32, nEnts)
 	maxEntID := -1
 	for i := 0; i < nEnts; i++ {
 		m.entIDs[i] = int(rd.I64())
-		m.entVecs[i] = rd.Vec(m.dim)
 		if rd.Err() != nil {
 			return nil, fmt.Errorf("multiem: load matcher: entity %d: %w", i, rd.Err())
 		}
@@ -556,6 +621,10 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 	// the first AddRecords; reject it like every other corrupt field.
 	if m.nextID <= maxEntID {
 		return nil, fmt.Errorf("multiem: load matcher: nextID %d not above max entity ID %d", m.nextID, maxEntID)
+	}
+	m.entVecs = vector.NewStore(m.dim)
+	if err := readArena(rd, m.entVecs, nEnts); err != nil {
+		return nil, fmt.Errorf("multiem: load matcher: entity vectors: %w", err)
 	}
 
 	nTuples := rd.I32()
@@ -579,11 +648,14 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 		m.tuples[i] = tupleState{
 			members:     members,
 			maxJoinDist: rd.F32(),
-			centroid:    rd.Vec(m.dim),
 		}
 	}
 	if rd.Err() != nil {
 		return nil, fmt.Errorf("multiem: load matcher: %w", rd.Err())
+	}
+	m.centroids = vector.NewStore(m.dim)
+	if err := readArena(rd, m.centroids, nTuples); err != nil {
+		return nil, fmt.Errorf("multiem: load matcher: centroids: %w", err)
 	}
 
 	ix, err := hnsw.Load(br)

@@ -2,6 +2,7 @@ package multiem
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -281,6 +282,43 @@ func TestMatcherSaveLoadRoundTrip(t *testing.T) {
 	}
 	if a[0].Absorbed != b[0].Absorbed || a[0].Tuple != b[0].Tuple || a[0].EntityID != b[0].EntityID {
 		t.Fatalf("AddRecords diverges after round-trip: %+v vs %+v", a[0], b[0])
+	}
+}
+
+// A matcher file from a previous format version must fail with the named
+// ErrFormatVersion, not be misparsed into garbage.
+func TestLoadMatcherOldVersionFailsWithNamedError(t *testing.T) {
+	m, _ := geoMatcher(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := append([]byte(nil), buf.Bytes()...)
+	b[8] = 1 // version field, little-endian low byte
+	_, err := LoadMatcher(bytes.NewReader(b), geoOpts())
+	if err == nil {
+		t.Fatal("LoadMatcher accepted a version-1 file")
+	}
+	if !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("old-version error %v does not wrap ErrFormatVersion", err)
+	}
+}
+
+// A truncated matcher file must fail with a clean error wherever the bytes
+// run out — in particular inside the bulk arena sections, whose allocation
+// must track bytes actually read rather than the header's counts.
+func TestLoadMatcherTruncatedFails(t *testing.T) {
+	m, _ := geoMatcher(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		cut := int(float64(len(whole)) * frac)
+		if _, err := LoadMatcher(bytes.NewReader(whole[:cut]), geoOpts()); err == nil {
+			t.Fatalf("LoadMatcher accepted a file truncated to %d/%d bytes", cut, len(whole))
+		}
 	}
 }
 

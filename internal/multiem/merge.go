@@ -9,14 +9,15 @@ import (
 	"repro/internal/ann"
 	"repro/internal/hnsw"
 	"repro/internal/unionfind"
+	"repro/internal/vector"
 )
 
 // item is one row of a (possibly merged) table during Phase II: a candidate
-// tuple of entity positions plus a representative embedding. A fresh item
-// holds a single entity and that entity's embedding; merged items hold the
+// tuple of entity positions plus a representative embedding. A fresh item's
+// vec aliases its entity's row in the pipeline arena; merged items hold the
 // L2-normalized centroid of their members' embeddings.
 type item struct {
-	members []int // global entity positions (indexes into the pipeline's vecs)
+	members []int // global entity positions (rows in the pipeline's arena)
 	vec     []float32
 	// maxJoinDist is the largest pair distance accepted anywhere along
 	// this item's merge history — the "merge path" information the paper
@@ -26,9 +27,9 @@ type item struct {
 }
 
 // mergeContext carries what two-table merging needs about the whole dataset:
-// the per-entity embeddings used to recompute centroids.
+// the per-entity embedding arena used to recompute centroids.
 type mergeContext struct {
-	entVecs [][]float32
+	entVecs *vector.Store
 	opt     *Options
 }
 

@@ -9,12 +9,20 @@ import (
 
 func unitv(vs ...float32) []float32 { return vector.Normalize(vs) }
 
+// storeOf copies test fixture rows into the arena the pipeline now carries.
+func storeOf(entVecs [][]float32) *vector.Store {
+	if len(entVecs) == 0 {
+		return vector.NewStore(2)
+	}
+	return vector.StoreFromRows(len(entVecs[0]), entVecs)
+}
+
 func mcFor(t *testing.T, opt Options, entVecs [][]float32) *mergeContext {
 	t.Helper()
 	if err := opt.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	return &mergeContext{entVecs: entVecs, opt: &opt}
+	return &mergeContext{entVecs: storeOf(entVecs), opt: &opt}
 }
 
 func singleItems(entVecs [][]float32, positions ...int) []item {
@@ -91,8 +99,8 @@ func TestCentroidSingleMemberIsSharedVector(t *testing.T) {
 	entVecs := [][]float32{unitv(1, 2, 3)}
 	mc := mcFor(t, DefaultOptions(), entVecs)
 	c := mc.centroid([]int{0})
-	if &c[0] != &entVecs[0][0] {
-		t.Fatal("single-member centroid must alias the entity vector (no copy)")
+	if &c[0] != &mc.entVecs.At(0)[0] {
+		t.Fatal("single-member centroid must alias the entity's arena row (no copy)")
 	}
 }
 
@@ -185,7 +193,7 @@ func TestPruneItemsRemovesOutlier(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Eps = 0.6
 	items := []item{{members: []int{0, 1, 2}}}
-	tuples, confs := pruneItems(items, entVecs, &opt)
+	tuples, confs := pruneItems(items, storeOf(entVecs), &opt)
 	if len(confs) != len(tuples) {
 		t.Fatalf("confidences misaligned: %d vs %d", len(confs), len(tuples))
 	}
@@ -199,7 +207,7 @@ func TestPruneItemsDropsShrunkenTuples(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Eps = 0.2
 	items := []item{{members: []int{0, 1}}}
-	if got, _ := pruneItems(items, entVecs, &opt); got != nil {
+	if got, _ := pruneItems(items, storeOf(entVecs), &opt); got != nil {
 		t.Fatalf("tuple shrinking below 2 must disappear: %v", got)
 	}
 }
@@ -218,8 +226,8 @@ func TestPruneItemsParallelMatchesSequential(t *testing.T) {
 	seq.Eps = 0.5
 	par := seq
 	par.Parallel = true
-	a, _ := pruneItems(items, entVecs, &seq)
-	b, _ := pruneItems(items, entVecs, &par)
+	a, _ := pruneItems(items, storeOf(entVecs), &seq)
+	b, _ := pruneItems(items, storeOf(entVecs), &par)
 	if len(a) != len(b) {
 		t.Fatalf("parallel pruning differs: %d vs %d tuples", len(a), len(b))
 	}
@@ -241,7 +249,7 @@ func TestPruneItemsDisabled(t *testing.T) {
 	opt := DefaultOptions()
 	opt.DisablePruning = true
 	items := []item{{members: []int{0, 1}}}
-	got, _ := pruneItems(items, entVecs, &opt)
+	got, _ := pruneItems(items, storeOf(entVecs), &opt)
 	if len(got) != 1 || len(got[0]) != 2 {
 		t.Fatalf("w/o DP must keep the raw tuple: %v", got)
 	}

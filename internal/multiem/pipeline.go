@@ -5,7 +5,9 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/embed"
 	"repro/internal/table"
+	"repro/internal/vector"
 )
 
 // PhaseTimings records wall-clock time per pipeline phase; the per-module
@@ -43,14 +45,15 @@ type Result struct {
 }
 
 // runState carries the pipeline's intermediate products alongside the public
-// Result: the entities in position order, their embeddings, and the predicted
-// tuples as entity positions. BuildMatcher consumes these to set up online
-// serving without re-deriving them from the Result's entity IDs.
+// Result: the entities in position order, their embeddings (one contiguous
+// arena, row = entity position), and the predicted tuples as entity
+// positions. BuildMatcher consumes these to set up online serving without
+// re-deriving them from the Result's entity IDs.
 type runState struct {
 	res     *Result
 	ents    []*table.Entity
-	entVecs [][]float32
-	// posTuples[i] lists entity positions (indexes into ents/entVecs) for
+	entVecs *vector.Store
+	// posTuples[i] lists entity positions (rows into ents/entVecs) for
 	// res.Tuples[i]; the two are aligned index-by-index.
 	posTuples [][]int
 }
@@ -100,7 +103,7 @@ func run(d *table.Dataset, opt Options) (*runState, error) {
 	for i, e := range ents {
 		texts[i] = table.Serialize(e, sel)
 	}
-	entVecs := opt.Encoder.EncodeBatch(texts)
+	entVecs := embed.BatchStore(opt.Encoder, texts)
 	res.Timings.Represent = time.Since(tRep)
 
 	// Phase II: table-wise hierarchical merging (Algorithm 2).
@@ -111,7 +114,7 @@ func run(d *table.Dataset, opt Options) (*runState, error) {
 	for _, t := range d.Tables {
 		rows := make([]item, t.Len())
 		for r := range rows {
-			rows[r] = item{members: []int{pos}, vec: entVecs[pos]}
+			rows[r] = item{members: []int{pos}, vec: entVecs.At(pos)}
 			pos++
 		}
 		tables = append(tables, rows)

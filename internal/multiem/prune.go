@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/vector"
 )
 
 // pruneItems implements Phase III (§III-D): every candidate tuple with at
@@ -15,7 +16,7 @@ import (
 // With opt.Parallel, tuples are partitioned across workers (§III-E,
 // "pruning in parallel"); pruning each tuple is independent, so the
 // partitioning does not change results.
-func pruneItems(items []item, entVecs [][]float32, opt *Options) ([][]int, []float64) {
+func pruneItems(items []item, entVecs *vector.Store, opt *Options) ([][]int, []float64) {
 	// confidence maps an item's worst accepted merge distance into (0, 1]:
 	// 1 means every join was exact, lower means some join was near the
 	// threshold M.
@@ -35,7 +36,7 @@ func pruneItems(items []item, entVecs [][]float32, opt *Options) ([][]int, []flo
 		}
 		vecs := make([][]float32, len(it.members))
 		for i, pos := range it.members {
-			vecs[i] = entVecs[pos]
+			vecs[i] = entVecs.At(pos)
 		}
 		keep := cluster.PruneTuple(vecs, opt.PruneMetric, opt.Eps, opt.MinPts)
 		if len(keep) < 2 {

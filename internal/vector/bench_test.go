@@ -1,0 +1,63 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDim matches embed.DefaultDim: the dimensionality every hot-path
+// distance call in the pipeline actually runs at.
+const benchDim = 256
+
+func benchVecs(n int) [][]float32 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, benchDim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		out[i] = Normalize(v)
+	}
+	return out
+}
+
+var sinkF32 float32
+
+func BenchmarkDot(b *testing.B) {
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF32 = Dot(vs[0], vs[1])
+	}
+}
+
+func BenchmarkSquaredDist(b *testing.B) {
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF32 = SquaredDist(vs[0], vs[1])
+	}
+}
+
+func BenchmarkCosineSim(b *testing.B) {
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF32 = CosineSim(vs[0], vs[1])
+	}
+}
+
+func BenchmarkMetricDist(b *testing.B) {
+	// The per-call Metric switch as the pipeline pays it today; compare
+	// against BenchmarkMetricFunc after kernel resolution lands.
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	for _, m := range []Metric{Cosine, Euclidean, CosineUnit} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF32 = m.Dist(vs[0], vs[1])
+			}
+		})
+	}
+}

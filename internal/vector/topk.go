@@ -27,6 +27,16 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
 }
 
+// Reset empties the accumulator and re-targets it at k, reusing the backing
+// array. It makes TopK poolable across searches.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		panic("vector: TopK requires k > 0")
+	}
+	t.k = k
+	t.heap = t.heap[:0]
+}
+
 // Len reports how many neighbours are currently held (≤ k).
 func (t *TopK) Len() int { return len(t.heap) }
 
@@ -64,6 +74,37 @@ func (t *TopK) Results() []Neighbor {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// ResultsAppend drains the accumulator into dst in the same order Results
+// produces — increasing distance, ties broken by increasing ID — but without
+// allocating: the max-heap is popped in place (largest first, filled from the
+// back) and equal-distance runs are ID-fixed with an insertion pass. Unlike
+// Results, the heap's backing array survives for reuse via Reset.
+func (t *TopK) ResultsAppend(dst []Neighbor) []Neighbor {
+	n := len(t.heap)
+	start := len(dst)
+	dst = append(dst, t.heap...) // grow dst by n; contents overwritten below
+	out := dst[start:]
+	for i := n - 1; i >= 0; i-- {
+		// Pop the current worst into the last open slot.
+		top := t.heap[0]
+		last := len(t.heap) - 1
+		t.heap[0] = t.heap[last]
+		t.heap = t.heap[:last]
+		t.down(0)
+		out[i] = top
+	}
+	t.heap = t.heap[:0]
+	// Heap pop order is arbitrary within equal distances; restore the ID
+	// tie-break. Runs of equal distance are adjacent, so one insertion pass
+	// is cheap and usually a no-op.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && out[j].Dist == out[j-1].Dist && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return dst
 }
 
 func (t *TopK) up(i int) {
@@ -104,6 +145,9 @@ type MinHeap struct {
 
 // Len reports the number of held neighbours.
 func (h *MinHeap) Len() int { return len(h.heap) }
+
+// Reset empties the heap, keeping the backing array for reuse.
+func (h *MinHeap) Reset() { h.heap = h.heap[:0] }
 
 // Push adds a neighbour.
 func (h *MinHeap) Push(n Neighbor) {
