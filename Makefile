@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke bench-json
+.PHONY: all build vet fmt test race race-matcher bench bench-smoke bench-json
 
 all: build vet test
 
@@ -23,6 +23,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The sharded matcher's locking under both a single P (lock ordering) and
+# real parallelism (shard contention).
+race-matcher:
+	$(GO) test -race -cpu=1,4 -count=1 ./internal/multiem
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -31,16 +36,20 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Tier-1 benches -> BENCH_PR2.json "current" suite (the frozen "baseline"
-# suite in the file is kept). CI uploads the file as an artifact; see
-# README "Performance" for the format.
-BENCH_JSON ?= BENCH_PR2.json
+# Tier-1 benches -> BENCH_PR3.json "current" suite. The frozen "baseline"
+# suite is kept; when the file has none yet it is seeded from the previous
+# PR's "current" (BENCH_BASE), which is how the measured trajectory chains
+# across PRs. CI uploads the file as an artifact; see README "Performance"
+# for the format.
+BENCH_JSON ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR2.json
 bench-json:
 	@rm -f .bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkTable4_MultiEM' -benchmem -count=1 . >> .bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkMatcher' -benchmem -count=1 . >> .bench.out
 	$(GO) test -run='^$$' -bench='Build1k|Search10k' -benchmem -count=1 ./internal/hnsw >> .bench.out
 	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
 	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
-	$(GO) run ./cmd/benchjson -pr 2 -set current -merge $(BENCH_JSON) -o $(BENCH_JSON) < .bench.out
+	$(GO) run ./cmd/benchjson -pr 3 -desc 'Sharded matcher: concurrent ingest / mixed read-write / match-parity suites; baseline is PR 2 current' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -o $(BENCH_JSON) < .bench.out
 	@rm -f .bench.out
 	@echo "wrote $(BENCH_JSON)"

@@ -10,6 +10,8 @@ package repro_test
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"testing"
 
@@ -425,6 +427,158 @@ func BenchmarkAblation_MutualVsOneDirectional(b *testing.B) {
 		}
 		b.ReportMetric(100*f1, "F1")
 	})
+}
+
+// ---- Online matcher: sharded serving workloads -------------------------------
+//
+// The matcher's state is hash-sharded (one arena + HNSW index + RWMutex per
+// shard); these benches measure how ingest and mixed read/write traffic scale
+// with shard count. rows/s is the number of records ingested per second;
+// "parity" on the sharded-match bench is the fraction of queries whose
+// candidate sets (entity IDs and distances) are identical to the single-shard
+// matcher's — the sharded layout must be an execution detail, not a result
+// change.
+
+// benchMatcher builds a serving matcher over the small Geo dataset with a
+// fixed shard count.
+func benchMatcher(b *testing.B, shards int) (*repro.Matcher, *repro.Dataset) {
+	b.Helper()
+	d := mustGen(b, "Geo", 0.3, 11)
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	opt.Shards = shards
+	m, err := repro.BuildMatcher(d, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, d
+}
+
+// benchIngestRows generates deterministic synthetic records (schema width 3,
+// matching Geo) that are distinct across batches, so every row exercises the
+// full embed + fan-out search + apply path.
+func benchIngestRows(batch, n int) [][]string {
+	rows := make([][]string, n)
+	for i := range rows {
+		id := batch*n + i
+		rows[i] = []string{
+			fmt.Sprintf("station %d sector %d", id, id%97),
+			fmt.Sprintf("%d.%02d", id%90, id%100),
+			fmt.Sprintf("-%d.%02d", id%80, (id*7)%100),
+		}
+	}
+	return rows
+}
+
+// BenchmarkMatcherIngest measures AddRecords batch throughput per shard
+// count: one op ingests a 256-row batch, partitioned across shards and
+// applied concurrently.
+func BenchmarkMatcherIngest(b *testing.B) {
+	const batchSize = 256
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m, _ := benchMatcher(b, shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.AddRecords(benchIngestRows(i, batchSize)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batchSize*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkMatcherMixed is the serving-traffic shape: many goroutines issuing
+// Match with an AddRecords batch mixed in every 16th op, so reads contend
+// with per-shard write locks.
+func BenchmarkMatcherMixed(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m, d := benchMatcher(b, shards)
+			byID := d.EntityByID()
+			res := m.Result()
+			queries := make([][]string, 0, 16)
+			for _, tuple := range res.Tuples[:min(len(res.Tuples), 16)] {
+				queries = append(queries, byID[tuple[0]].Values)
+			}
+			var goroutineID int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// b.Error, not b.Fatal: FailNow must not be called from
+				// RunParallel's worker goroutines.
+				g := int(atomic.AddInt64(&goroutineID, 1))
+				for i := 0; pb.Next(); i++ {
+					if i%16 == 15 {
+						if _, err := m.AddRecords(benchIngestRows(1000*g+i, 4)); err != nil {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					if _, err := m.Match(queries[(g+i)%len(queries)], 3); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMatcherShardedMatch measures fan-out Match over 4 shards and
+// reports parity against the single-shard matcher on the same queries.
+func BenchmarkMatcherShardedMatch(b *testing.B) {
+	m1, d := benchMatcher(b, 1)
+	m4, _ := benchMatcher(b, 4)
+	byID := d.EntityByID()
+	res := m1.Result()
+	queries := make([][]string, 0, 32)
+	for _, tuple := range res.Tuples[:min(len(res.Tuples), 32)] {
+		queries = append(queries, byID[tuple[0]].Values)
+	}
+	agree, total := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		c4, err := m4.Match(q, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c1, err := m1.Match(q, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total++
+		if candidatesEqual(c1, c4) {
+			agree++
+		}
+	}
+	b.ReportMetric(float64(agree)/float64(total), "parity")
+}
+
+// candidatesEqual compares two candidate lists by entity membership and
+// distance, ignoring the layout-dependent tuple IDs and order among
+// equal-distance candidates.
+func candidatesEqual(a, b []repro.Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(cs []repro.Candidate) []string {
+		out := make([]string, len(cs))
+		for i, c := range cs {
+			out[i] = fmt.Sprintf("%v@%g", c.EntityIDs, c.Distance)
+		}
+		sort.Strings(out)
+		return out
+	}
+	ka, kb := key(a), key(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ---- Substrate micro-benches -------------------------------------------------

@@ -36,6 +36,7 @@ func main() {
 		k         = flag.Int("k", 1, "mutual top-K width")
 		m         = flag.Float64("m", 0.5, "merge distance threshold (cosine)")
 		parallel  = flag.Bool("parallel", true, "build with MultiEM(parallel)")
+		shards    = flag.Int("shards", 0, "matcher hash shards (0 = GOMAXPROCS; ignored with -load-index)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	opt.M = float32(*m)
 	opt.Parallel = *parallel
 	opt.Seed = *seed
+	opt.Shards = *shards
 
 	matcher, err := loadOrBuild(*loadIndex, *dataDir, *dataset, *scale, *seed, opt)
 	if err != nil {
@@ -57,8 +59,8 @@ func main() {
 	}
 
 	st := matcher.Stats()
-	log.Printf("serving %d entities in %d tuples (%d matched, %d singletons) over attrs %v",
-		st.Entities, st.Tuples, st.Matched, st.Singletons, st.Attrs)
+	log.Printf("serving %d entities in %d tuples (%d matched, %d singletons) across %d shards over attrs %v",
+		st.Entities, st.Tuples, st.Matched, st.Singletons, st.Shards, st.Attrs)
 	log.Printf("listening on %s", *addr)
 	srv := &http.Server{
 		Addr:    *addr,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -10,13 +11,19 @@ import (
 	"repro"
 )
 
-// maxBodyBytes bounds request bodies; match/add payloads are small records,
-// not bulk uploads.
+// maxBodyBytes bounds single-record request bodies (match payloads).
 const maxBodyBytes = 8 << 20
 
-// server exposes a repro.Matcher over HTTP. All handlers speak JSON. Match
-// traffic runs concurrently (the matcher takes a read lock); ingestion
-// serializes behind its write lock.
+// maxAddBodyBytes is the larger cap for /add: it is the batched ingest path,
+// and a batch is partitioned across the matcher's shards and applied
+// concurrently, so bulk payloads are the intended use.
+const maxAddBodyBytes = 64 << 20
+
+// server exposes a repro.Matcher over HTTP. All handlers speak JSON. The
+// matcher is hash-sharded: /match fans out across shards under per-shard read
+// locks, and an /add batch locks each shard only while applying that shard's
+// slice — so match traffic keeps flowing on every shard an ingest batch is
+// not currently writing.
 type server struct {
 	m     *repro.Matcher
 	start time.Time
@@ -50,20 +57,30 @@ type addRequest struct {
 
 type addResponse struct {
 	Results []repro.AddResult `json:"results"`
+	// Warning reports a non-fatal ingest-side problem (a failed shard
+	// compaction): the records in Results were committed, so the client
+	// must not retry the batch.
+	Warning string `json:"warning,omitempty"`
 }
 
 type statsResponse struct {
 	repro.MatcherStats
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	// PerShard breaks the totals down by shard, so a hot or bloated shard
+	// is visible without attaching a debugger.
+	PerShard      []repro.ShardStats `json:"per_shard"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Row points at the offending row of an /add batch (absent otherwise),
+	// so clients can fix the one bad record instead of bisecting the batch.
+	Row *int `json:"row,omitempty"`
 }
 
 func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	var req matchRequest
-	if !decode(w, r, &req) {
+	if !decode(w, r, &req, maxBodyBytes) {
 		return
 	}
 	if len(req.Values) == 0 {
@@ -72,7 +89,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	cands, err := s.m.Match(req.Values, req.K)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeMatcherError(w, err)
 		return
 	}
 	if cands == nil {
@@ -83,7 +100,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req addRequest
-	if !decode(w, r, &req) {
+	if !decode(w, r, &req, maxAddBodyBytes) {
 		return
 	}
 	if len(req.Records) == 0 {
@@ -92,15 +109,26 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.m.AddRecords(req.Records)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		// AddRecords returns results alongside a compaction error: the
+		// records were ingested. A 500 here would invite a retry that
+		// duplicates the whole batch, so report success with a warning.
+		if results == nil {
+			writeMatcherError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, addResponse{Results: results, Warning: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, addResponse{Results: results})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One snapshot for both views, so the totals always equal the
+	// per-shard sums even under concurrent ingest.
+	stats, perShard := s.m.StatsWithShards()
 	writeJSON(w, http.StatusOK, statsResponse{
-		MatcherStats:  s.m.Stats(),
+		MatcherStats:  stats,
+		PerShard:      perShard,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
@@ -111,14 +139,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // decode parses a JSON request body into dst, writing a 400 and returning
 // false on malformed input.
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+func decode(w http.ResponseWriter, r *http.Request, dst any, maxBytes int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return false
 	}
 	return true
+}
+
+// writeMatcherError maps a matcher error to an HTTP response: malformed input
+// (an arity mismatch) is the client's fault — 400, with the offending batch
+// row index when there is one — and anything else is a 500.
+func writeMatcherError(w http.ResponseWriter, err error) {
+	var arity *repro.ArityError
+	if errors.As(err, &arity) {
+		resp := errorResponse{Error: err.Error()}
+		if arity.Row >= 0 {
+			row := arity.Row
+			resp.Row = &row
+		}
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -22,6 +22,7 @@ func testMatcher(t *testing.T) (*repro.Matcher, *repro.Dataset) {
 	}
 	opt := repro.DefaultOptions()
 	opt.M = 0.5
+	opt.Shards = 4 // exercise the sharded paths through the HTTP layer
 	m, err := repro.BuildMatcher(d, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +81,56 @@ func TestStats(t *testing.T) {
 	}
 	if got.Matched == 0 || len(got.Attrs) == 0 {
 		t.Fatalf("stats look empty: %+v", got)
+	}
+	if got.Shards != 4 || len(got.PerShard) != 4 {
+		t.Fatalf("stats report %d shards and %d per-shard entries, want 4", got.Shards, len(got.PerShard))
+	}
+	var ents, tuples, live int
+	for i, ss := range got.PerShard {
+		if ss.Shard != i {
+			t.Fatalf("per-shard entry %d labelled shard %d", i, ss.Shard)
+		}
+		ents += ss.Entities
+		tuples += ss.Tuples
+		live += ss.Live
+	}
+	if ents != got.Entities || tuples != got.Tuples || live != got.Live {
+		t.Fatalf("per-shard sums (%d entities, %d tuples, %d live) disagree with totals %+v", ents, tuples, live, got.MatcherStats)
+	}
+}
+
+// TestAddBadRowIndexed: an /add batch with one malformed row must come back
+// as a 400 whose JSON error names the offending row, not a 500 and not a
+// bare message.
+func TestAddBadRowIndexed(t *testing.T) {
+	m, d := testMatcher(t)
+	h := newHandler(m)
+	byID := d.EntityByID()
+	good := byID[m.Result().Tuples[0][0]].Values
+
+	before := m.Stats().Entities
+	w := postJSON(t, h, "/add", addRequest{Records: [][]string{good, {"only-one-value"}, good}})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("add with bad row: status %d, want 400 (body %s)", w.Code, w.Body)
+	}
+	got := decodeBody[errorResponse](t, w)
+	if got.Row == nil || *got.Row != 1 {
+		t.Fatalf("error %+v does not point at row 1", got)
+	}
+	if got.Error == "" {
+		t.Fatal("error body missing message")
+	}
+	if after := m.Stats().Entities; after != before {
+		t.Fatalf("rejected batch still ingested rows: %d -> %d entities", before, after)
+	}
+
+	// A malformed single /match record is also a 400, but carries no row.
+	w = postJSON(t, h, "/match", matchRequest{Values: []string{"too", "short"}, K: 1})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("match with bad arity: status %d, want 400", w.Code)
+	}
+	if got := decodeBody[errorResponse](t, w); got.Row != nil {
+		t.Fatalf("match error %+v must not carry a batch row", got)
 	}
 }
 

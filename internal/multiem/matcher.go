@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -18,8 +19,9 @@ import (
 // belongs to, ranked by distance between the query embedding and the tuple's
 // centroid.
 type Candidate struct {
-	// Tuple is the matcher-internal tuple index (stable across Match calls,
-	// grows under AddRecords).
+	// Tuple is the stable global tuple ID, shard<<32 | local index. It never
+	// changes for a tuple's lifetime and grows under AddRecords. With a
+	// single shard this is the plain tuple index.
 	Tuple int `json:"tuple"`
 	// EntityIDs are the member entity IDs, sorted ascending.
 	EntityIDs []int `json:"entity_ids"`
@@ -36,7 +38,7 @@ type Candidate struct {
 type AddResult struct {
 	// EntityID is the ID assigned to the new record.
 	EntityID int `json:"entity_id"`
-	// Tuple is the tuple the record now belongs to.
+	// Tuple is the global tuple ID the record now belongs to.
 	Tuple int `json:"tuple"`
 	// Absorbed is true when the record joined an existing tuple; false when
 	// it started a new singleton.
@@ -46,7 +48,7 @@ type AddResult struct {
 	Distance float32 `json:"distance"`
 }
 
-// MatcherStats summarizes a Matcher's state.
+// MatcherStats summarizes a Matcher's state across all shards.
 type MatcherStats struct {
 	// Entities is the total number of records known to the matcher.
 	Entities int `json:"entities"`
@@ -58,39 +60,82 @@ type MatcherStats struct {
 	Singletons int `json:"singletons"`
 	// Dim is the embedding dimensionality.
 	Dim int `json:"dim"`
-	// IndexSize is the number of centroid vectors in the ANN index (stale
-	// centroids of absorbed-into tuples included).
+	// Shards is the number of hash shards the state is split across.
+	Shards int `json:"shards"`
+	// IndexSize is the total number of centroid vectors across the shards'
+	// ANN indexes, stale centroids of absorbed-into tuples included.
 	IndexSize int `json:"index_size"`
+	// Live is the number of current centroids (one per tuple); the
+	// difference IndexSize - Live is stale index weight, bounded per shard
+	// by compaction.
+	Live int `json:"live"`
 	// Attrs are the attribute names used for representation.
 	Attrs []string `json:"attrs"`
 }
 
-// tupleState is one tracked tuple: its member entity positions and
-// merge-path provenance. The tuple's unit-norm centroid lives in the
-// matcher's centroid arena at the tuple's index.
+// ArityError reports a record whose width does not match the schema.
+// Callers (the HTTP layer) use it to map bad input to a client error and to
+// point at the offending row of a batch.
+type ArityError struct {
+	// Row is the index of the bad row within the submitted batch, or -1 for
+	// a single-record operation like Match.
+	Row int
+	// Got and Want are the record's and the schema's widths.
+	Got, Want int
+	// Schema is the expected attribute list.
+	Schema []string
+}
+
+func (e *ArityError) Error() string {
+	msg := fmt.Sprintf("record has %d values, schema %v wants %d", e.Got, e.Schema, e.Want)
+	if e.Row >= 0 {
+		return fmt.Sprintf("multiem: row %d: %s", e.Row, msg)
+	}
+	return "multiem: " + msg
+}
+
+// tupleState is one tracked tuple: its member entity rows (local to the
+// owning shard) and merge-path provenance. The tuple's unit-norm centroid
+// lives in the shard's centroid arena at the tuple's local index.
 type tupleState struct {
 	members     []int
 	maxJoinDist float32
+	// minEntID caches the smallest member entity ID — the tuple's
+	// layout-independent identity for deterministic tie-breaks. Fixed at
+	// creation: later members always carry fresh, larger IDs. Derived
+	// state, recomputed on load rather than persisted.
+	minEntID int
 }
 
-// Matcher serves online entity matching over a completed pipeline run. It
-// holds every entity embedding, the predicted tuples (plus all unmatched
-// entities as singletons), and an HNSW index over tuple centroids.
+// Matcher serves online entity matching over a completed pipeline run. Its
+// state is hash-sharded: each shard owns a disjoint set of tuples together
+// with their member embeddings, centroid arena, HNSW index, and RWMutex.
+// Tuples are addressed by stable global IDs (shard<<32 | local index).
 //
 // Match answers "which tuple does this record belong to" without re-running
-// the pipeline; AddRecords ingests new records incrementally, absorbing each
-// into its nearest tuple when the centroid distance is within the merge
-// threshold M, or starting a new singleton otherwise.
+// the pipeline: the query is embedded once, bound to the merge metric, fanned
+// out across the shards' indexes, and the per-shard top-k are merged.
+// AddRecords ingests a batch incrementally: rows are embedded and searched in
+// parallel against a snapshot of all shards, then partitioned by destination
+// shard and applied concurrently — absorbed into the globally nearest tuple
+// when its centroid distance is within the merge threshold M, or started as
+// a new singleton on the shard the routing hash names.
 //
-// Match is safe for concurrent use and may run concurrently with other Match
-// calls; AddRecords and Save take an exclusive lock, so they serialize with
-// everything else. The configured Encoder must be safe for concurrent use
-// (the default HashEncoder is).
+// Concurrency: Match, Stats, ShardStats, and Tuples take per-shard read
+// locks, so they run concurrently with each other and only wait on shards
+// mid-write. AddRecords and Save serialize against each other on an ingest
+// lock; AddRecords takes each shard's write lock only while applying that
+// shard's slice of a batch, so a batch becomes visible shard by shard (each
+// shard's slice atomically), not as one cross-shard transaction. The
+// configured Encoder must be safe for concurrent use (the default
+// HashEncoder is).
 type Matcher struct {
-	mu  sync.RWMutex
-	opt Options
-	// dist is opt.MergeMetric resolved once; Match and AddRecords re-rank
-	// candidates with it on every query.
+	// addMu serializes the matcher's only mutators, AddRecords and Save;
+	// holding it means no shard state changes underneath.
+	addMu sync.Mutex
+	opt   Options
+	// dist is opt.MergeMetric resolved once; AddRecords re-ranks candidates
+	// with it on every query.
 	dist vector.DistFunc
 	dim  int
 	// schema is the attribute list incoming records must follow.
@@ -98,23 +143,41 @@ type Matcher struct {
 	// selected are the schema positions used for serialization; nil means
 	// all attributes (the pipeline's fast path).
 	selected []int
-	entIDs   []int
-	// entVecs is the entity-embedding arena: row = entity position.
-	entVecs *vector.Store
-	tuples  []tupleState
-	// centroids is the tuple-centroid arena, row = tuple index, kept
-	// aligned with tuples.
-	centroids *vector.Store
-	index     *hnsw.Index
-	nextID    int
-	result    *Result // pipeline output; nil when loaded from disk
+	shards   []*shard
+	// nextID is the next entity ID to hand out; guarded by addMu.
+	nextID int
+	result *Result // pipeline output; nil when loaded from disk
+}
+
+// resolveShards maps the Shards option to a concrete shard count.
+func resolveShards(opt *Options) int {
+	n := opt.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxSaneShards {
+		n = maxSaneShards
+	}
+	return n
+}
+
+// newShards allocates n empty shards for the matcher's dimensionality.
+func (m *Matcher) newShards(n int) {
+	m.shards = make([]*shard, n)
+	for s := range m.shards {
+		m.shards[s] = &shard{
+			entVecs:   vector.NewStore(m.dim),
+			centroids: vector.NewStore(m.dim),
+		}
+	}
 }
 
 // BuildMatcher runs the full MultiEM pipeline on the dataset and wraps the
 // outcome in a Matcher. Every predicted tuple becomes a tracked tuple;
 // entities the pipeline left unmatched become singletons, so later records
-// can still be matched against them. The pipeline's Result is available via
-// Result().
+// can still be matched against them. Tuples are distributed across shards by
+// the routing hash of their centroid, and the per-shard HNSW indexes are
+// built concurrently. The pipeline's Result is available via Result().
 func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 	st, err := run(d, opt)
 	if err != nil {
@@ -122,19 +185,17 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 	}
 
 	m := &Matcher{
-		opt:     opt,
-		dist:    opt.MergeMetric.Func(),
-		dim:     opt.Encoder.Dim(),
-		schema:  append([]string(nil), d.Schema().Attrs...),
-		entVecs: st.entVecs,
-		result:  st.res,
+		opt:    opt,
+		dist:   opt.MergeMetric.Func(),
+		dim:    opt.Encoder.Dim(),
+		schema: append([]string(nil), d.Schema().Attrs...),
+		result: st.res,
 	}
 	if len(st.res.SelectedAttrs) < len(m.schema) {
 		m.selected = append([]int(nil), st.res.SelectedAttrs...)
 	}
-	m.entIDs = make([]int, len(st.ents))
-	for i, e := range st.ents {
-		m.entIDs[i] = e.ID
+	m.newShards(resolveShards(&opt))
+	for _, e := range st.ents {
 		if e.ID >= m.nextID {
 			m.nextID = e.ID + 1
 		}
@@ -146,43 +207,55 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 			covered[p] = true
 		}
 	}
-	nSingle := 0
-	for _, c := range covered {
-		if !c {
-			nSingle++
+
+	// Distribute pipeline tuples, then leftover singletons, routing each by
+	// its centroid. Member positions are rewritten to rows local to the
+	// owning shard, and each member's embedding and ID move there with it.
+	centroid := make([]float32, m.dim)
+	place := func(members []int, maxJoinDist float32) {
+		centroidInto(centroid, members, st.entVecs)
+		sh := m.shards[routeVec(centroid, len(m.shards))]
+		local := make([]int, len(members))
+		for i, p := range members {
+			local[i] = sh.entVecs.Append(st.entVecs.At(p))
+			sh.entIDs = append(sh.entIDs, st.ents[p].ID)
 		}
+		sh.centroids.Append(centroid)
+		sh.tuples = append(sh.tuples, tupleState{
+			members:     local,
+			maxJoinDist: maxJoinDist,
+			minEntID:    minMemberID(local, sh.entIDs),
+		})
 	}
-	m.centroids = vector.NewStoreWithCap(m.dim, len(st.posTuples)+nSingle)
 	for ti, pos := range st.posTuples {
-		ts := tupleState{
-			members:     append([]int(nil), pos...),
-			maxJoinDist: 2 * float32(1-st.res.Confidences[ti]),
-		}
-		row := m.centroids.AppendZero()
-		centroidInto(m.centroids.At(row), ts.members, st.entVecs)
-		m.tuples = append(m.tuples, ts)
+		place(pos, 2*float32(1-st.res.Confidences[ti]))
 	}
 	for p := range covered {
 		if !covered[p] {
-			m.centroids.Append(st.entVecs.At(p))
-			m.tuples = append(m.tuples, tupleState{members: []int{p}})
+			place([]int{p}, 0)
 		}
 	}
 
-	if err := m.buildIndex(); err != nil {
-		return nil, err
+	// Per-shard index builds are independent; run them concurrently.
+	errs := make([]error, len(m.shards))
+	parallelFor(len(m.shards), len(m.shards), func(s int) {
+		errs[s] = m.buildShardIndex(s)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
 
-// buildIndex constructs the centroid HNSW index from m.tuples.
-func (m *Matcher) buildIndex() error {
-	cfg := m.opt.HNSW
-	cfg.Metric = m.opt.MergeMetric
-	m.index = hnsw.New(m.dim, cfg)
-	for ti := range m.tuples {
-		if err := m.index.Add(ti, m.centroids.At(ti)); err != nil {
-			return fmt.Errorf("multiem: matcher index: %w", err)
+// buildShardIndex constructs shard s's centroid HNSW index from its tuples.
+func (m *Matcher) buildShardIndex(s int) error {
+	sh := m.shards[s]
+	sh.index = hnsw.New(m.dim, m.shardHNSWConfig(s))
+	for local := range sh.tuples {
+		if err := sh.index.Add(local, sh.centroids.At(local)); err != nil {
+			return fmt.Errorf("multiem: matcher index (shard %d): %w", s, err)
 		}
 	}
 	return nil
@@ -226,6 +299,9 @@ func (m *Matcher) Schema() []string {
 	return append([]string(nil), m.schema...)
 }
 
+// Shards reports how many hash shards the matcher's state is split across.
+func (m *Matcher) Shards() int { return len(m.shards) }
+
 // embed serializes a record's values over the selected attributes and encodes
 // them, mirroring the pipeline's representation phase.
 func (m *Matcher) embed(values []string) []float32 {
@@ -240,19 +316,87 @@ const MaxMatchK = 100
 
 // checkArity rejects records whose width differs from the schema; silently
 // padding or truncating would embed the wrong text and poison centroids.
-func (m *Matcher) checkArity(values []string) error {
+// row is the batch row index for the error (-1 outside a batch).
+func (m *Matcher) checkArity(values []string, row int) error {
 	if len(values) != len(m.schema) {
-		return fmt.Errorf("multiem: record has %d values, schema %v wants %d", len(values), m.schema, len(m.schema))
+		// Copy the schema: the error crosses the public API, and a caller
+		// mutating it must not corrupt the matcher.
+		return &ArityError{Row: row, Got: len(values), Want: len(m.schema), Schema: append([]string(nil), m.schema...)}
 	}
 	return nil
+}
+
+// shardEf is the per-shard search beam for fan-out queries. Each shard holds
+// roughly 1/n of the centroids, so the configured beam is split across the
+// shards; the total search effort stays near the single-shard cost instead
+// of multiplying by the shard count. The index never searches with a beam
+// narrower than the requested k, so small shards keep full recall.
+func (m *Matcher) shardEf() int {
+	ef := m.opt.EfSearch
+	if ef <= 0 {
+		ef = m.opt.HNSW.EfSearch
+	}
+	if ef <= 0 {
+		ef = 64 // hnsw's own EfSearch default
+	}
+	if n := len(m.shards); n > 1 {
+		ef = (ef + n - 1) / n
+	}
+	return ef
+}
+
+// shardHits is one shard's contribution to a fan-out query: distinct tuples
+// re-ranked against their current centroids. keys are the tuples' smallest
+// member entity IDs — unique across all shards (members are disjoint) and
+// independent of the shard layout, so they can drive the merged ranking's
+// tie-breaks.
+type shardHits struct {
+	keys  []int // smallest member entity ID per tuple
+	ids   []int // global tuple IDs
+	dists []float32
+}
+
+// searchShard runs one shard's leg of a fan-out query: over-fetch from the
+// shard index, collapse stale duplicates, and re-rank every distinct tuple
+// against its current centroid with the query-bound kernel qf. The caller
+// holds the shard's read lock.
+func (m *Matcher) searchShard(s, fetch, ef int, q []float32, qf vector.QueryDist, hits *shardHits) {
+	sh := m.shards[s]
+	// Over-fetch: absorbed-into tuples leave stale centroid entries in the
+	// index, and several entries can resolve to one tuple.
+	raw := sh.index.Search(q, fetch, ef)
+	seen := make(map[int]bool, len(raw))
+	for _, r := range raw {
+		if seen[r.ID] {
+			continue
+		}
+		seen[r.ID] = true
+		// Distance against the current centroid, not the possibly stale
+		// indexed vector. Clamp: float rounding can push an exact self-match
+		// a hair below zero.
+		d := qf(sh.centroids.At(r.ID))
+		if d < 0 {
+			d = 0
+		}
+		hits.keys = append(hits.keys, m.tupleMinEntityID(s, r.ID))
+		hits.ids = append(hits.ids, globalTupleID(s, r.ID))
+		hits.dists = append(hits.dists, d)
+	}
 }
 
 // Match returns up to k candidate tuples for a record, nearest centroid
 // first. values must be ordered by Schema() and match its length; k is
 // clamped to [1, MaxMatchK]. Records with no meaningful text (empty
 // embedding) return no candidates.
+//
+// The query runs against each shard under that shard's read lock, so Match
+// proceeds on all shards an ingest batch is not currently writing. Ties in
+// distance break on the tuple's smallest member entity ID, so the ranking —
+// including the cut at k — is identical for every shard layout. Candidates
+// are materialized per shard after ranking: a concurrent ingest landing in
+// between can make a candidate's membership fresher than its distance.
 func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
-	if err := m.checkArity(values); err != nil {
+	if err := m.checkArity(values, -1); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
@@ -266,60 +410,58 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 		return nil, nil
 	}
 
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	// Bind the metric to the query once; every shard's re-rank shares the
+	// kernel (for cosine, ||q|| is hoisted out of all candidate loops).
+	qf := m.opt.MergeMetric.QueryFunc(q)
+	fetch := 4*k + 8
+	ef := m.shardEf()
+	perShard := make([]shardHits, len(m.shards))
+	parallelFor(len(m.shards), len(m.shards), func(s int) {
+		sh := m.shards[s]
+		sh.mu.RLock()
+		m.searchShard(s, fetch, ef, q, qf, &perShard[s])
+		sh.mu.RUnlock()
+	})
 
-	// Over-fetch: absorbed-into tuples leave stale centroid entries in the
-	// index, and several entries can resolve to one tuple.
-	raw := m.index.Search(q, 4*k+8, m.opt.EfSearch)
-	type ranked struct {
-		tuple int
-		dist  float32
+	// Merge the per-shard rankings keyed on the layout-independent tuple
+	// keys: TopK displaces lexicographically on (distance, key), so the cut
+	// at k is deterministic regardless of shard layout. Global tuple IDs
+	// would not do as tie-breaks — they encode the layout.
+	top := vector.NewTopK(k)
+	byKey := make(map[int]int, len(m.shards)*4)
+	for s := range perShard {
+		h := &perShard[s]
+		for i, key := range h.keys {
+			top.Push(key, h.dists[i])
+			byKey[key] = h.ids[i]
+		}
 	}
-	seen := make(map[int]bool, len(raw))
-	order := make([]ranked, 0, len(raw))
-	for _, r := range raw {
-		if seen[r.ID] {
+	merged := top.Results()
+
+	// Materialize the survivors shard by shard, one read lock per shard.
+	out := make([]Candidate, len(merged))
+	byShard := make([][]int, len(m.shards))
+	for i, r := range merged {
+		gid := byKey[r.ID]
+		out[i] = Candidate{Tuple: gid, Distance: r.Dist, Similarity: 1 - r.Dist}
+		s, _ := splitTupleID(gid)
+		byShard[s] = append(byShard[s], i)
+	}
+	for s, idxs := range byShard {
+		if len(idxs) == 0 {
 			continue
 		}
-		seen[r.ID] = true
-		// Distance against the current centroid, not the possibly stale
-		// indexed vector. Clamp: float rounding can push an exact
-		// self-match a hair below zero.
-		d := m.dist(q, m.centroids.At(r.ID))
-		if d < 0 {
-			d = 0
+		sh := m.shards[s]
+		sh.mu.RLock()
+		for _, i := range idxs {
+			_, local := splitTupleID(out[i].Tuple)
+			ts := sh.tuples[local]
+			out[i].EntityIDs = sh.memberIDs(ts.members)
+			out[i].Confidence = confidenceFrom(ts.maxJoinDist)
 		}
-		order = append(order, ranked{tuple: r.ID, dist: d})
-	}
-	// Rank every distinct tuple by its re-computed distance before cutting
-	// to k: stale index order must not decide which tuples survive the cut.
-	// Member-ID slices are only materialized for the survivors.
-	sort.SliceStable(order, func(i, j int) bool { return order[i].dist < order[j].dist })
-	if len(order) > k {
-		order = order[:k]
-	}
-	out := make([]Candidate, len(order))
-	for i, r := range order {
-		ts := m.tuples[r.tuple]
-		out[i] = Candidate{
-			Tuple:      r.tuple,
-			EntityIDs:  m.memberIDs(ts.members),
-			Distance:   r.dist,
-			Similarity: 1 - r.dist,
-			Confidence: confidenceFrom(ts.maxJoinDist),
-		}
+		sh.mu.RUnlock()
 	}
 	return out, nil
-}
-
-func (m *Matcher) memberIDs(members []int) []int {
-	ids := make([]int, len(members))
-	for i, p := range members {
-		ids[i] = m.entIDs[p]
-	}
-	sort.Ints(ids)
-	return ids
 }
 
 // confidenceFrom maps a tuple's worst accepted join distance into (0, 1],
@@ -332,77 +474,295 @@ func confidenceFrom(maxJoinDist float32) float64 {
 	return c
 }
 
-// AddRecords ingests new records incrementally. Each record is embedded and
-// searched against the centroid index: within the merge threshold M it is
-// absorbed into the nearest tuple (centroid and confidence updated),
-// otherwise it starts a new singleton tuple. Returns one AddResult per
-// record, and the IDs assigned are fresh (greater than any existing ID).
-// Rows are validated against the schema up front; a bad row rejects the
-// whole batch, so ingestion is all-or-nothing.
+// addSearchK is the per-shard candidate width when AddRecords looks for the
+// nearest tuple to absorb into.
+const addSearchK = 8
+
+// addDecision is the outcome of one record's snapshot search and intra-batch
+// chaining: where it goes and at what distance.
+type addDecision struct {
+	vec    []float32
+	absorb bool // join an existing (pre-batch) tuple
+	shard  int  // owning shard of the destination tuple
+	local  int  // local tuple index when absorbing into an existing tuple
+	dist   float32
+	batch  int // index into the batch's new tuples when not absorbing
+}
+
+// batchTuple is a tuple created by the current batch: the rows that chained
+// into it (ascending) and its running centroid, used only for intra-batch
+// join decisions — the authoritative centroid is recomputed in the shard
+// arena at apply time.
+type batchTuple struct {
+	rows     []int
+	centroid []float32
+	maxJoin  float32
+	shard    int
+}
+
+// AddRecords ingests a batch of records incrementally. Rows are validated
+// against the schema up front (a bad row rejects the whole batch), then:
+//
+//  1. Every row is embedded and searched against a snapshot of all shards in
+//     parallel. A row within the merge threshold M of its globally nearest
+//     pre-batch tuple is marked for absorption into it.
+//  2. The remaining rows are chained against each other in row order: a row
+//     within M of a tuple the batch itself is forming joins it (so a bulk
+//     load full of mutual duplicates forms one tuple, not a pile of
+//     singletons), and any other row starts a new tuple on the shard the
+//     routing hash of its embedding names.
+//  3. The batch is partitioned by destination shard and applied
+//     concurrently, each shard's slice in row order under its write lock:
+//     members appended, touched centroids recomputed once, refreshed
+//     centroids re-indexed, and the shard compacted if stale index entries
+//     piled up.
+//
+// Decisions against pre-existing tuples use the state at the start of the
+// batch, and the chaining pass is independent of the shard layout — so
+// tuple membership comes out identical for every shard count, which is what
+// makes sharded ingest deterministic. A row strictly closer to a tuple the
+// batch is forming than to its pre-batch target joins the batch tuple; the
+// one divergence from one-row-at-a-time ingestion is that a row never joins
+// a pre-batch tuple via a centroid moved by an earlier row of the same
+// batch. Ingest parallelism scales with the
+// shard count — a single-shard matcher ingests serially; the default
+// Options.Shards = GOMAXPROCS uses every core.
+//
+// Assigned entity IDs are fresh and dense in row order. On a compaction
+// failure the records are still ingested (the shard keeps serving from its
+// previous index) and the error is returned alongside the results.
 func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 	for i, values := range rows {
-		if err := m.checkArity(values); err != nil {
-			return nil, fmt.Errorf("row %d: %w", i, err)
+		if err := m.checkArity(values, i); err != nil {
+			return nil, err
 		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
 
-	out := make([]AddResult, 0, len(rows))
-	for _, values := range rows {
-		vec := m.embed(values)
-		pos := m.entVecs.Len()
-		id := m.nextID
-		m.nextID++
-		m.entIDs = append(m.entIDs, id)
-		m.entVecs.Append(vec)
-
-		var best vector.Neighbor
-		best.ID = -1
-		if vector.Norm(vec) > 0 {
-			for _, r := range m.index.Search(vec, 8, m.opt.EfSearch) {
-				d := m.dist(vec, m.centroids.At(r.ID))
-				if best.ID < 0 || d < best.Dist {
-					best = vector.Neighbor{ID: r.ID, Dist: d}
+	// Phase 1: snapshot decisions. No shard locks are needed: addMu keeps
+	// every writer out, and concurrent Match calls only read.
+	decs := make([]addDecision, len(rows))
+	ef := m.shardEf()
+	parallelFor(len(m.shards), len(rows), func(i int) {
+		d := &decs[i]
+		d.vec = m.embed(rows[i])
+		if vector.Norm(d.vec) > 0 {
+			bestID, bestMin := -1, 0
+			var bestDist float32
+			for s, sh := range m.shards {
+				for _, r := range sh.index.Search(d.vec, addSearchK, ef) {
+					dd := m.dist(d.vec, sh.centroids.At(r.ID))
+					if bestID >= 0 && dd > bestDist {
+						continue
+					}
+					// Equidistant tuples tie-break on their smallest member
+					// entity ID — an identity no shard layout changes, so
+					// every layout picks the same winner. (Global tuple IDs
+					// would not do: they encode the layout.)
+					cm := m.tupleMinEntityID(s, r.ID)
+					if bestID < 0 || dd < bestDist || cm < bestMin {
+						bestID, bestDist, bestMin = globalTupleID(s, r.ID), dd, cm
+					}
 				}
 			}
-		}
-
-		if best.ID >= 0 && best.Dist <= m.opt.M {
-			ti := best.ID
-			ts := &m.tuples[ti]
-			ts.members = append(ts.members, pos)
-			centroidInto(m.centroids.At(ti), ts.members, m.entVecs)
-			if best.Dist > ts.maxJoinDist {
-				ts.maxJoinDist = best.Dist
+			if bestID >= 0 && bestDist <= m.opt.M {
+				d.absorb = true
+				d.shard, d.local = splitTupleID(bestID)
+				d.dist = bestDist
 			}
-			// Index the refreshed centroid under the same tuple id; the
-			// previous entry goes stale and Match/AddRecords re-rank
-			// against current centroids, so it only costs a little recall
-			// head-room, not correctness.
-			m.index.Add(ti, m.centroids.At(ti))
-			out = append(out, AddResult{EntityID: id, Tuple: ti, Absorbed: true, Distance: best.Dist})
+		}
+	})
+
+	// Phase 2: chain rows against the batch's own forming tuples in row
+	// order. A row joins a batch tuple when it is within M and strictly
+	// closer than the row's pre-batch absorption target (ties prefer the
+	// established tuple), so near-duplicates arriving together end up in
+	// one tuple just as they would one at a time. Rows with no text (zero
+	// embedding) never chain; each gets its own singleton. Sequential and
+	// layout-independent by design.
+	var newTuples []batchTuple
+	for i := range decs {
+		d := &decs[i]
+		if vector.Norm(d.vec) > 0 {
+			best := -1
+			var bestDist float32
+			for t := range newTuples {
+				dd := m.dist(d.vec, newTuples[t].centroid)
+				if best < 0 || dd < bestDist {
+					best, bestDist = t, dd
+				}
+			}
+			if best >= 0 && bestDist <= m.opt.M && (!d.absorb || bestDist < d.dist) {
+				nt := &newTuples[best]
+				nt.rows = append(nt.rows, i)
+				meanInto(nt.centroid, nt.rows, decs)
+				if bestDist > nt.maxJoin {
+					nt.maxJoin = bestDist
+				}
+				d.absorb = false
+				d.batch = best
+				d.dist = bestDist
+				continue
+			}
+		}
+		if d.absorb {
 			continue
 		}
+		d.batch = len(newTuples)
+		newTuples = append(newTuples, batchTuple{
+			rows:     []int{i},
+			centroid: append([]float32(nil), d.vec...),
+			shard:    routeVec(d.vec, len(m.shards)),
+		})
+	}
+	for i := range decs {
+		if !decs[i].absorb {
+			decs[i].shard = newTuples[decs[i].batch].shard
+		}
+	}
 
-		ti := len(m.tuples)
-		m.tuples = append(m.tuples, tupleState{members: []int{pos}})
-		m.centroids.Append(vec)
-		m.index.Add(ti, vec)
-		out = append(out, AddResult{EntityID: id, Tuple: ti, Absorbed: false})
+	baseID := m.nextID
+	m.nextID += len(rows)
+
+	// Phase 3: partition by destination shard and apply concurrently.
+	perShard := make([][]int, len(m.shards))
+	for i := range decs {
+		perShard[decs[i].shard] = append(perShard[decs[i].shard], i)
+	}
+	out := make([]AddResult, len(rows))
+	compactErrs := make([]error, len(m.shards))
+	parallelFor(len(m.shards), len(m.shards), func(s int) {
+		rowIdx := perShard[s]
+		if len(rowIdx) == 0 {
+			return
+		}
+		sh := m.shards[s]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+
+		var touched []int           // pre-existing tuples whose centroid moved
+		var created []int           // tuples created by this batch, in creation order
+		batchLocal := map[int]int{} // batch tuple index -> local tuple index
+		for _, i := range rowIdx {  // ascending row order: deterministic appends
+			d := &decs[i]
+			pos := sh.entVecs.Append(d.vec)
+			sh.entIDs = append(sh.entIDs, baseID+i)
+			if d.absorb {
+				ts := &sh.tuples[d.local]
+				ts.members = append(ts.members, pos)
+				if d.dist > ts.maxJoinDist {
+					ts.maxJoinDist = d.dist
+				}
+				if len(touched) == 0 || touched[len(touched)-1] != d.local {
+					touched = append(touched, d.local)
+				}
+				out[i] = AddResult{EntityID: baseID + i, Tuple: globalTupleID(s, d.local), Absorbed: true, Distance: d.dist}
+				continue
+			}
+			local, ok := batchLocal[d.batch]
+			if !ok {
+				// First row of a batch-formed tuple: create it. Later rows
+				// of the same tuple count as absorbed at their join
+				// distance, exactly as one-at-a-time ingestion would report.
+				local = len(sh.tuples)
+				batchLocal[d.batch] = local
+				created = append(created, local)
+				// The first row has the tuple's smallest entity ID: rows
+				// chain in ascending order and batch IDs are dense.
+				sh.tuples = append(sh.tuples, tupleState{members: []int{pos}, maxJoinDist: newTuples[d.batch].maxJoin, minEntID: baseID + i})
+				sh.centroids.Append(d.vec)
+				out[i] = AddResult{EntityID: baseID + i, Tuple: globalTupleID(s, local), Absorbed: false}
+				continue
+			}
+			sh.tuples[local].members = append(sh.tuples[local].members, pos)
+			out[i] = AddResult{EntityID: baseID + i, Tuple: globalTupleID(s, local), Absorbed: true, Distance: d.dist}
+		}
+		// Index each batch-created tuple once, with its settled centroid.
+		for _, local := range created {
+			if members := sh.tuples[local].members; len(members) > 1 {
+				centroidInto(sh.centroids.At(local), members, sh.entVecs)
+			}
+			sh.index.Add(local, sh.centroids.At(local))
+		}
+		// Recompute each touched centroid once per batch and re-index it
+		// under the same local id; the previous entry goes stale, and Match
+		// and AddRecords re-rank against current centroids, so staleness
+		// only costs recall head-room until compaction — not correctness.
+		sort.Ints(touched)
+		last := -1
+		for _, local := range touched {
+			if local == last {
+				continue
+			}
+			last = local
+			centroidInto(sh.centroids.At(local), sh.tuples[local].members, sh.entVecs)
+			sh.index.Add(local, sh.centroids.At(local))
+		}
+		compactErrs[s] = sh.maybeCompact(m.shardHNSWConfig(s), m.dim)
+	})
+	if err := errors.Join(compactErrs...); err != nil {
+		return out, fmt.Errorf("multiem: records ingested, but shard compaction failed: %w", err)
 	}
 	return out, nil
 }
 
-// Stats reports the matcher's current size.
+// tupleMinEntityID is the smallest member entity ID of a tuple: a
+// layout-independent identity for deterministic tie-breaks (members of
+// distinct tuples are disjoint, so the minimum is unique per tuple). The
+// caller must hold the shard's lock in either mode, or addMu (which
+// excludes every writer).
+func (m *Matcher) tupleMinEntityID(s, local int) int {
+	return m.shards[s].tuples[local].minEntID
+}
+
+// minMemberID scans members for the smallest entity ID; used to seed a
+// tuple's cached minEntID at creation and load time.
+func minMemberID(members []int, entIDs []int) int {
+	min := -1
+	for _, p := range members {
+		if id := entIDs[p]; min < 0 || id < min {
+			min = id
+		}
+	}
+	return min
+}
+
+// meanInto recomputes a batch tuple's running centroid: the unit-norm mean
+// of its member rows' embeddings, summed in row order — the same derivation
+// (and float-op order) centroidInto applies in the shard arena later.
+func meanInto(dst []float32, rows []int, decs []addDecision) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, r := range rows {
+		vector.Add(dst, decs[r].vec)
+	}
+	vector.Scale(dst, 1/float32(len(rows)))
+	vector.Normalize(dst)
+}
+
+// Stats reports the matcher's current size, aggregated over shards.
 func (m *Matcher) Stats() MatcherStats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	s, _ := m.StatsWithShards()
+	return s
+}
+
+// ShardStats reports per-shard sizes, one entry per shard in shard order.
+func (m *Matcher) ShardStats() []ShardStats {
+	_, per := m.StatsWithShards()
+	return per
+}
+
+// StatsWithShards reports the aggregate stats and the per-shard breakdown
+// from one snapshot, so the totals always equal the per-shard sums even
+// while a batch is being applied. Shards are read one at a time under their
+// read locks; an in-flight batch may be counted on some shards and not yet
+// on others, but totals and breakdown never disagree with each other.
+func (m *Matcher) StatsWithShards() (MatcherStats, []ShardStats) {
 	s := MatcherStats{
-		Entities:  len(m.entIDs),
-		Tuples:    len(m.tuples),
-		Dim:       m.dim,
-		IndexSize: m.index.Len(),
+		Dim:    m.dim,
+		Shards: len(m.shards),
 	}
 	if m.selected == nil {
 		s.Attrs = append([]string(nil), m.schema...)
@@ -411,53 +771,65 @@ func (m *Matcher) Stats() MatcherStats {
 			s.Attrs = append(s.Attrs, m.schema[j])
 		}
 	}
-	for _, ts := range m.tuples {
-		if len(ts.members) >= 2 {
-			s.Matched++
-		} else {
-			s.Singletons++
-		}
+	per := make([]ShardStats, len(m.shards))
+	for id, sh := range m.shards {
+		sh.mu.RLock()
+		per[id] = sh.statsLocked(id)
+		sh.mu.RUnlock()
+		s.Entities += per[id].Entities
+		s.Tuples += per[id].Tuples
+		s.Matched += per[id].Matched
+		s.Singletons += per[id].Singletons
+		s.IndexSize += per[id].IndexSize
+		s.Live += per[id].Live
 	}
-	return s
+	return s, per
 }
 
 // Tuples returns every tracked tuple with >= 2 members as sorted entity-ID
-// sets with confidences, in tuple-index order.
+// sets with confidences, in global tuple-ID order (shard, then local index).
 func (m *Matcher) Tuples() ([][]int, []float64) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	var tuples [][]int
 	var confs []float64
-	for _, ts := range m.tuples {
-		if len(ts.members) < 2 {
-			continue
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for _, ts := range sh.tuples {
+			if len(ts.members) < 2 {
+				continue
+			}
+			tuples = append(tuples, sh.memberIDs(ts.members))
+			confs = append(confs, confidenceFrom(ts.maxJoinDist))
 		}
-		tuples = append(tuples, m.memberIDs(ts.members))
-		confs = append(confs, confidenceFrom(ts.maxJoinDist))
+		sh.mu.RUnlock()
 	}
 	return tuples, confs
 }
 
-// Matcher binary format (little-endian), version 2:
+// Matcher binary format (little-endian), version 3:
 //
 //	magic     [8]byte  "MEMMATC\n"
 //	version   uint32
 //	dim       int32
 //	nextID    int64
+//	nShards   int32
 //	schema    count + length-prefixed strings
 //	selected  count (-1 = all attributes) + int32 positions
-//	entIDs    count + count × int64
-//	entVecs   count × dim × float32, the embedding arena as one block
-//	tuples    count × { nMembers int32; members []int32; maxJoinDist f32 }
-//	centroids count × dim × float32, the centroid arena as one block
-//	index     embedded hnsw.Index (its own versioned format)
+//	per shard:
+//	  entIDs      count + count × int64
+//	  entVecs     count × dim × float32, the shard's embedding arena as one block
+//	  tuples      count × { nMembers int32; members []int32 (local rows); maxJoinDist f32 }
+//	  centroids   count × dim × float32, the shard's centroid arena as one block
+//	  compactions int64
+//	  index       embedded hnsw.Index (its own versioned format)
 //
-// Version 1 interleaved vectors with their owning records; version 2 writes
-// each arena as a single block, matching the in-memory layout.
+// Version 2 held one global section set; version 3 writes one self-contained
+// section per shard, matching the sharded in-memory layout, so a loaded
+// matcher reconstructs the exact shard topology (and its per-shard RNG
+// streams) it was saved with.
 
 var matcherMagic = [8]byte{'M', 'E', 'M', 'M', 'A', 'T', 'C', '\n'}
 
-const matcherFormatVersion = 2
+const matcherFormatVersion = 3
 
 // ErrFormatVersion is wrapped by LoadMatcher when the file's format version
 // is not the one this build writes; callers distinguish "old matcher file,
@@ -471,14 +843,17 @@ const (
 	maxSaneSchema = 1 << 20
 	maxSaneStr    = 1 << 20
 	maxSaneDim    = 1 << 20
+	maxSaneShards = 1 << 12
 )
 
-// Save writes the matcher's complete state — embeddings, tuples, and the
-// centroid index — so LoadMatcher can serve queries without re-running the
-// pipeline. The pipeline Result is not persisted.
+// Save writes the matcher's complete state — per-shard embeddings, tuples,
+// and centroid indexes — so LoadMatcher can serve queries without re-running
+// the pipeline. The pipeline Result is not persisted. Save serializes with
+// AddRecords (the only other mutator), so the written snapshot is consistent
+// across shards; concurrent Match calls keep running.
 func (m *Matcher) Save(w io.Writer) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(matcherMagic[:]); err != nil {
@@ -487,6 +862,7 @@ func (m *Matcher) Save(w io.Writer) error {
 	binio.WriteU32(bw, matcherFormatVersion)
 	binio.WriteI32(bw, int32(m.dim))
 	binio.WriteI64(bw, int64(m.nextID))
+	binio.WriteI32(bw, int32(len(m.shards)))
 	binio.WriteI32(bw, int32(len(m.schema)))
 	for _, s := range m.schema {
 		binio.WriteString(bw, s)
@@ -499,24 +875,32 @@ func (m *Matcher) Save(w io.Writer) error {
 			binio.WriteI32(bw, int32(j))
 		}
 	}
-	binio.WriteI32(bw, int32(len(m.entIDs)))
-	for _, id := range m.entIDs {
-		binio.WriteI64(bw, int64(id))
-	}
-	binio.WriteF32s(bw, m.entVecs.Raw())
-	binio.WriteI32(bw, int32(len(m.tuples)))
-	for _, ts := range m.tuples {
-		binio.WriteI32(bw, int32(len(ts.members)))
-		for _, p := range ts.members {
-			binio.WriteI32(bw, int32(p))
+	for _, sh := range m.shards {
+		binio.WriteI32(bw, int32(len(sh.entIDs)))
+		for _, id := range sh.entIDs {
+			binio.WriteI64(bw, int64(id))
 		}
-		binio.WriteF32(bw, ts.maxJoinDist)
+		binio.WriteF32s(bw, sh.entVecs.Raw())
+		binio.WriteI32(bw, int32(len(sh.tuples)))
+		for _, ts := range sh.tuples {
+			binio.WriteI32(bw, int32(len(ts.members)))
+			for _, p := range ts.members {
+				binio.WriteI32(bw, int32(p))
+			}
+			binio.WriteF32(bw, ts.maxJoinDist)
+		}
+		binio.WriteF32s(bw, sh.centroids.Raw())
+		binio.WriteI64(bw, sh.compactions)
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("multiem: save matcher: %w", err)
+		}
+		// The index writes through its own bufio layer onto w; flushing
+		// ours first keeps the sections in order.
+		if err := sh.index.Save(w); err != nil {
+			return err
+		}
 	}
-	binio.WriteF32s(bw, m.centroids.Raw())
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("multiem: save matcher: %w", err)
-	}
-	return m.index.Save(w)
+	return bw.Flush()
 }
 
 // readArena reads rows vectors into the store in bounded chunks, so the
@@ -526,13 +910,14 @@ func (m *Matcher) Save(w io.Writer) error {
 func readArena(rd *binio.Reader, s *vector.Store, rows int) error {
 	const rowChunk = 4096
 	dim := s.Dim()
+	base := s.Len()
 	for read := 0; read < rows; {
 		n := rows - read
 		if n > rowChunk {
 			n = rowChunk
 		}
 		s.Grow(n)
-		rd.F32s(s.Raw()[read*dim : (read+n)*dim])
+		rd.F32s(s.Raw()[(base+read)*dim : (base+read+n)*dim])
 		if err := rd.Err(); err != nil {
 			return err
 		}
@@ -544,13 +929,15 @@ func readArena(rd *binio.Reader, s *vector.Store, rows int) error {
 // LoadMatcher reads a matcher written by Save. opt supplies the runtime
 // pieces that are not persisted — the encoder and thresholds — and must use
 // an encoder with the same dimensionality (and, for meaningful results, the
-// same encoding) as at save time.
+// same encoding) as at save time. The shard count comes from the file, not
+// from opt.Shards: global tuple IDs encode the shard layout, so the layout is
+// part of the persistent state.
 func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	// The embedded index is read through the same bufio.Reader, so its
-	// read-ahead never loses bytes between the two sections.
+	// The embedded indexes are read through the same bufio.Reader, so its
+	// read-ahead never loses bytes between sections.
 	br := bufio.NewReader(r)
 
 	var mg [8]byte
@@ -569,6 +956,7 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 	m := &Matcher{opt: opt, dist: opt.MergeMetric.Func()}
 	m.dim = rd.I32()
 	m.nextID = int(rd.I64())
+	nShards := rd.I32()
 	if rd.Err() != nil {
 		return nil, fmt.Errorf("multiem: load matcher: %w", rd.Err())
 	}
@@ -577,6 +965,9 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 	}
 	if got := opt.Encoder.Dim(); got != m.dim {
 		return nil, fmt.Errorf("multiem: load matcher: encoder dim %d does not match saved dim %d", got, m.dim)
+	}
+	if nShards <= 0 || nShards > maxSaneShards {
+		return nil, fmt.Errorf("multiem: load matcher: corrupt shard count %d", nShards)
 	}
 
 	nSchema := rd.I32()
@@ -602,79 +993,85 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 		}
 	}
 
-	nEnts := rd.I32()
-	if rd.Err() == nil && (nEnts < 0 || nEnts > maxSaneCount) {
-		return nil, fmt.Errorf("multiem: load matcher: corrupt entity count %d", nEnts)
-	}
-	m.entIDs = make([]int, nEnts)
+	m.newShards(nShards)
 	maxEntID := -1
-	for i := 0; i < nEnts; i++ {
-		m.entIDs[i] = int(rd.I64())
+	for s, sh := range m.shards {
+		nEnts := rd.I32()
+		if rd.Err() == nil && (nEnts < 0 || nEnts > maxSaneCount) {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d: corrupt entity count %d", s, nEnts)
+		}
+		sh.entIDs = make([]int, nEnts)
+		for i := 0; i < nEnts; i++ {
+			sh.entIDs[i] = int(rd.I64())
+			if rd.Err() != nil {
+				return nil, fmt.Errorf("multiem: load matcher: shard %d entity %d: %w", s, i, rd.Err())
+			}
+			if sh.entIDs[i] > maxEntID {
+				maxEntID = sh.entIDs[i]
+			}
+		}
+		if err := readArena(rd, sh.entVecs, nEnts); err != nil {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d entity vectors: %w", s, err)
+		}
+
+		nTuples := rd.I32()
+		if rd.Err() == nil && (nTuples < 0 || nTuples > maxSaneCount) {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d: corrupt tuple count %d", s, nTuples)
+		}
+		sh.tuples = make([]tupleState, nTuples)
+		for i := 0; i < nTuples; i++ {
+			nMembers := rd.I32()
+			if rd.Err() == nil && (nMembers < 0 || nMembers > nEnts) {
+				return nil, fmt.Errorf("multiem: load matcher: shard %d tuple %d has corrupt member count %d", s, i, nMembers)
+			}
+			members := make([]int, nMembers)
+			for j := range members {
+				p := rd.I32()
+				if rd.Err() == nil && (p < 0 || p >= nEnts) {
+					return nil, fmt.Errorf("multiem: load matcher: shard %d tuple %d references out-of-range entity %d", s, i, p)
+				}
+				members[j] = p
+			}
+			sh.tuples[i] = tupleState{
+				members:     members,
+				maxJoinDist: rd.F32(),
+				minEntID:    minMemberID(members, sh.entIDs),
+			}
+		}
 		if rd.Err() != nil {
-			return nil, fmt.Errorf("multiem: load matcher: entity %d: %w", i, rd.Err())
+			return nil, fmt.Errorf("multiem: load matcher: shard %d: %w", s, rd.Err())
 		}
-		if m.entIDs[i] > maxEntID {
-			maxEntID = m.entIDs[i]
+		if err := readArena(rd, sh.centroids, nTuples); err != nil {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d centroids: %w", s, err)
 		}
+		sh.compactions = rd.I64()
+		if rd.Err() != nil {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d: %w", s, rd.Err())
+		}
+
+		ix, err := hnsw.Load(br)
+		if err != nil {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d: %w", s, err)
+		}
+		if ix.Dim() != m.dim {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d index dim %d does not match matcher dim %d", s, ix.Dim(), m.dim)
+		}
+		// Index ids are local tuple indexes; an out-of-range id would make
+		// the first Match panic, so reject it at load time.
+		for _, id := range ix.IDs() {
+			if id < 0 || id >= nTuples {
+				return nil, fmt.Errorf("multiem: load matcher: shard %d index references tuple %d, have %d tuples", s, id, nTuples)
+			}
+		}
+		if ix.Len() < nTuples {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d index has %d centroids for %d tuples", s, ix.Len(), nTuples)
+		}
+		sh.index = ix
 	}
 	// A nextID at or below an existing ID would hand out colliding IDs on
 	// the first AddRecords; reject it like every other corrupt field.
 	if m.nextID <= maxEntID {
 		return nil, fmt.Errorf("multiem: load matcher: nextID %d not above max entity ID %d", m.nextID, maxEntID)
 	}
-	m.entVecs = vector.NewStore(m.dim)
-	if err := readArena(rd, m.entVecs, nEnts); err != nil {
-		return nil, fmt.Errorf("multiem: load matcher: entity vectors: %w", err)
-	}
-
-	nTuples := rd.I32()
-	if rd.Err() == nil && (nTuples < 0 || nTuples > maxSaneCount) {
-		return nil, fmt.Errorf("multiem: load matcher: corrupt tuple count %d", nTuples)
-	}
-	m.tuples = make([]tupleState, nTuples)
-	for i := 0; i < nTuples; i++ {
-		nMembers := rd.I32()
-		if rd.Err() == nil && (nMembers < 0 || nMembers > nEnts) {
-			return nil, fmt.Errorf("multiem: load matcher: tuple %d has corrupt member count %d", i, nMembers)
-		}
-		members := make([]int, nMembers)
-		for j := range members {
-			p := rd.I32()
-			if rd.Err() == nil && (p < 0 || p >= nEnts) {
-				return nil, fmt.Errorf("multiem: load matcher: tuple %d references out-of-range entity %d", i, p)
-			}
-			members[j] = p
-		}
-		m.tuples[i] = tupleState{
-			members:     members,
-			maxJoinDist: rd.F32(),
-		}
-	}
-	if rd.Err() != nil {
-		return nil, fmt.Errorf("multiem: load matcher: %w", rd.Err())
-	}
-	m.centroids = vector.NewStore(m.dim)
-	if err := readArena(rd, m.centroids, nTuples); err != nil {
-		return nil, fmt.Errorf("multiem: load matcher: centroids: %w", err)
-	}
-
-	ix, err := hnsw.Load(br)
-	if err != nil {
-		return nil, fmt.Errorf("multiem: load matcher: %w", err)
-	}
-	if ix.Dim() != m.dim {
-		return nil, fmt.Errorf("multiem: load matcher: index dim %d does not match matcher dim %d", ix.Dim(), m.dim)
-	}
-	// Index ids are tuple indexes; an out-of-range id would make the first
-	// Match panic, so reject it at load time.
-	for _, id := range ix.IDs() {
-		if id < 0 || id >= nTuples {
-			return nil, fmt.Errorf("multiem: load matcher: index references tuple %d, have %d tuples", id, nTuples)
-		}
-	}
-	if ix.Len() < nTuples {
-		return nil, fmt.Errorf("multiem: load matcher: index has %d centroids for %d tuples", ix.Len(), nTuples)
-	}
-	m.index = ix
 	return m, nil
 }

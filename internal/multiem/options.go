@@ -90,6 +90,11 @@ type Options struct {
 	MergeMetric vector.Metric
 	// PruneMetric is the distance used in pruning (paper: euclidean).
 	PruneMetric vector.Metric
+	// Shards is the number of hash shards the online Matcher splits its
+	// state across; ingest parallelism and write-lock granularity scale
+	// with it. <= 0 uses GOMAXPROCS. Ignored by LoadMatcher, which restores
+	// the shard count the file was saved with.
+	Shards int
 }
 
 // DefaultOptions mirrors §IV-A: k=1, MinPts=2, r=0.2, cosine merging,
@@ -134,6 +139,9 @@ func (o *Options) Validate() error {
 	}
 	if o.Encoder == nil {
 		return fmt.Errorf("multiem: Encoder is required")
+	}
+	if o.Shards > maxSaneShards {
+		return fmt.Errorf("multiem: Shards must be at most %d, got %d", maxSaneShards, o.Shards)
 	}
 	return nil
 }

@@ -1,0 +1,204 @@
+package multiem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hnsw"
+	"repro/internal/vector"
+)
+
+// The online matcher is hash-sharded: every tuple lives in exactly one shard,
+// which owns the tuple's member entities (their IDs and embedding rows), the
+// centroid arena row, the HNSW entry, and the RWMutex guarding them. Reads
+// (Match, Stats, Tuples) fan out across shards taking read locks one shard at
+// a time; ingestion partitions a batch across shards and applies each shard's
+// slice under that shard's write lock, so shards ingest concurrently and a
+// write to one shard never blocks reads on the others.
+//
+// A tuple is addressed globally as shard<<tupleShardShift | local. The local
+// part is the tuple's index into its shard's slices, so global IDs are stable
+// for the matcher's lifetime (tuples are never moved between shards). With a
+// single shard the encoding degenerates to the plain local index.
+const (
+	tupleShardShift = 32
+	tupleLocalMask  = (1 << tupleShardShift) - 1
+)
+
+// globalTupleID encodes a (shard, local) pair into one stable tuple ID.
+// Requires a 64-bit int, which every supported platform has.
+func globalTupleID(shard, local int) int {
+	return shard<<tupleShardShift | local
+}
+
+// splitTupleID decodes a global tuple ID back into (shard, local).
+func splitTupleID(id int) (shard, local int) {
+	return id >> tupleShardShift, id & tupleLocalMask
+}
+
+// shard is one slice of the matcher's online state. All fields are guarded by
+// mu, except that AddRecords' read-only phase may search index and centroids
+// without mu while holding the matcher-level ingest lock (no writer can run).
+type shard struct {
+	mu sync.RWMutex
+	// entIDs maps local entity row -> global entity ID.
+	entIDs []int
+	// entVecs holds the embeddings of every entity owned by this shard; a
+	// tuple's members index into it.
+	entVecs *vector.Store
+	tuples  []tupleState
+	// centroids row l is the current centroid of local tuple l.
+	centroids *vector.Store
+	index     *hnsw.Index
+	// compactions counts stale-centroid index rebuilds (persisted, so stats
+	// survive a save/load round-trip).
+	compactions int64
+}
+
+// ShardStats describes one shard's share of the matcher state.
+type ShardStats struct {
+	// Shard is the shard number (the high bits of its tuples' global IDs).
+	Shard int `json:"shard"`
+	// Entities is the number of entity embeddings this shard owns.
+	Entities int `json:"entities"`
+	// Tuples is the number of tuples homed here, singletons included.
+	Tuples int `json:"tuples"`
+	// Matched is the number of tuples with >= 2 members.
+	Matched int `json:"matched"`
+	// Singletons is the number of single-member tuples.
+	Singletons int `json:"singletons"`
+	// IndexSize is the number of centroid vectors in the shard's ANN index,
+	// stale entries included.
+	IndexSize int `json:"index_size"`
+	// Live is the number of current centroids (= Tuples); IndexSize - Live
+	// entries are stale leftovers of absorbed-into tuples.
+	Live int `json:"live"`
+	// Compactions counts how often the shard rebuilt its index to drop stale
+	// centroids.
+	Compactions int64 `json:"compactions"`
+}
+
+// statsLocked computes the shard's stats; the caller holds mu (either mode).
+func (sh *shard) statsLocked(id int) ShardStats {
+	s := ShardStats{
+		Shard:       id,
+		Entities:    len(sh.entIDs),
+		Tuples:      len(sh.tuples),
+		IndexSize:   sh.index.Len(),
+		Live:        len(sh.tuples),
+		Compactions: sh.compactions,
+	}
+	for _, ts := range sh.tuples {
+		if len(ts.members) >= 2 {
+			s.Matched++
+		} else {
+			s.Singletons++
+		}
+	}
+	return s
+}
+
+// memberIDs resolves member rows to sorted global entity IDs; the caller
+// holds mu.
+func (sh *shard) memberIDs(members []int) []int {
+	ids := make([]int, len(members))
+	for i, p := range members {
+		ids[i] = sh.entIDs[p]
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// compactThreshold triggers an index rebuild when stale entries outnumber
+// live centroids by this factor: every absorption leaves the tuple's previous
+// centroid behind in the index, and past 2x the dead entries dominate both
+// memory and search work.
+const compactThreshold = 2
+
+// maybeCompact rebuilds the shard's index from current centroids when the
+// stale/live ratio exceeds compactThreshold. The caller holds mu for writing.
+// The rebuilt index starts a fresh seeded RNG stream, which is deterministic:
+// the trigger depends only on ingest history, so an original matcher and its
+// save/load twin compact at the same point and rebuild identical graphs.
+func (sh *shard) maybeCompact(cfg hnsw.Config, dim int) error {
+	live := len(sh.tuples)
+	if live == 0 || sh.index.Len()-live <= compactThreshold*live {
+		return nil
+	}
+	ix := hnsw.New(dim, cfg)
+	for l := 0; l < live; l++ {
+		if err := ix.Add(l, sh.centroids.At(l)); err != nil {
+			return fmt.Errorf("multiem: shard compaction: %w", err)
+		}
+	}
+	sh.index = ix
+	sh.compactions++
+	return nil
+}
+
+// routeVec hashes a vector's bit pattern to a shard: FNV-1a over the float32
+// bits, so routing is deterministic, spreads uniformly, and — embeddings
+// being deterministic functions of the record text — identical records always
+// land on the same shard. Near-duplicates may land elsewhere, which is fine:
+// absorption searches every shard, routing only places new singletons.
+func routeVec(vec []float32, nShards int) int {
+	if nShards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, f := range vec {
+		b := math.Float32bits(f)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(b>>s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return int(h % uint64(nShards))
+}
+
+// shardHNSWConfig derives the HNSW configuration for one shard: the merge
+// metric, and a per-shard seed offset so the shards' level-sampling RNG
+// streams are distinct. Each stream replays independently through the index's
+// own Save/Load, which is what keeps post-load AddRecords deterministic.
+func (m *Matcher) shardHNSWConfig(shardID int) hnsw.Config {
+	cfg := m.opt.HNSW
+	cfg.Metric = m.opt.MergeMetric
+	if cfg.Seed == 0 {
+		cfg.Seed = 1 // mirror hnsw's default so the offset below is stable
+	}
+	cfg.Seed += int64(shardID)
+	return cfg
+}
+
+// parallelFor runs f(0..n-1) on up to workers goroutines. Iterations must be
+// independent; with workers <= 1 it degenerates to a plain loop.
+func parallelFor(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

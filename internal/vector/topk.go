@@ -10,13 +10,17 @@ type Neighbor struct {
 }
 
 // TopK accumulates the K smallest-distance neighbours seen so far. It is a
-// bounded max-heap keyed on distance: the root is the current worst kept
-// neighbour, so a new candidate only displaces it when strictly closer.
+// bounded max-heap keyed lexicographically on (distance, ID): the root is
+// the current worst kept neighbour, and a new candidate displaces it when
+// strictly closer — or equally distant with a smaller ID. The kept set is
+// therefore a deterministic function of the pushed multiset, independent of
+// push order, which is what lets fan-out searches merge per-shard results
+// without the cut at k depending on traversal order.
 //
 // The zero value is not usable; construct with NewTopK.
 type TopK struct {
 	k    int
-	heap []Neighbor // max-heap on Dist
+	heap []Neighbor // max-heap on (Dist, ID)
 }
 
 // NewTopK returns an accumulator keeping the k nearest neighbours.
@@ -46,17 +50,28 @@ func (t *TopK) Full() bool { return len(t.heap) == t.k }
 // Worst returns the largest kept distance. It panics when empty.
 func (t *TopK) Worst() float32 { return t.heap[0].Dist }
 
+// worseThan reports whether a ranks strictly worse than b: farther, or
+// equally far with a larger ID. It is the heap order and the displacement
+// rule, so retention ties break exactly like the output order does.
+func worseThan(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
 // Push offers a candidate. It returns true if the candidate was kept.
 func (t *TopK) Push(id int, dist float32) bool {
+	n := Neighbor{ID: id, Dist: dist}
 	if len(t.heap) < t.k {
-		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
+		t.heap = append(t.heap, n)
 		t.up(len(t.heap) - 1)
 		return true
 	}
-	if dist >= t.heap[0].Dist {
+	if !worseThan(t.heap[0], n) {
 		return false
 	}
-	t.heap[0] = Neighbor{ID: id, Dist: dist}
+	t.heap[0] = n
 	t.down(0)
 	return true
 }
@@ -110,7 +125,7 @@ func (t *TopK) ResultsAppend(dst []Neighbor) []Neighbor {
 func (t *TopK) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].Dist >= t.heap[i].Dist {
+		if !worseThan(t.heap[i], t.heap[parent]) {
 			return
 		}
 		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
@@ -122,18 +137,18 @@ func (t *TopK) down(i int) {
 	n := len(t.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
-			largest = l
+		worst := i
+		if l < n && worseThan(t.heap[l], t.heap[worst]) {
+			worst = l
 		}
-		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
-			largest = r
+		if r < n && worseThan(t.heap[r], t.heap[worst]) {
+			worst = r
 		}
-		if largest == i {
+		if worst == i {
 			return
 		}
-		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
-		i = largest
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
 	}
 }
 

@@ -64,8 +64,14 @@ type (
 	Candidate = multiem.Candidate
 	// AddResult reports how one ingested record was placed.
 	AddResult = multiem.AddResult
-	// MatcherStats summarizes a Matcher's state.
+	// MatcherStats summarizes a Matcher's state across all shards.
 	MatcherStats = multiem.MatcherStats
+	// ShardStats describes one shard's share of the matcher state.
+	ShardStats = multiem.ShardStats
+	// ArityError reports a record whose width does not match the schema,
+	// with the offending batch row index; HTTP layers map it to a client
+	// error.
+	ArityError = multiem.ArityError
 )
 
 // Evaluation.
