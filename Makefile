@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race race-matcher bench bench-smoke bench-json
+.PHONY: all build vet fmt test race race-matcher crash-recovery bench bench-smoke bench-json
 
 all: build vet test
 
@@ -21,12 +21,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 # The sharded matcher's locking under both a single P (lock ordering) and
-# real parallelism (shard contention).
+# real parallelism (shard contention). The crash-recovery property matrix
+# makes this the longest suite; the explicit timeout keeps single-core
+# boxes from tripping go test's 10m default.
 race-matcher:
-	$(GO) test -race -cpu=1,4 -count=1 ./internal/multiem
+	$(GO) test -race -cpu=1,4 -count=1 -timeout 25m ./internal/multiem
+
+# Black-box crash recovery: run the server under ingest load, SIGKILL it,
+# restart on the same -wal-dir, and diff /stats against the pre-kill state.
+crash-recovery:
+	./scripts/crash_recovery.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -36,13 +43,13 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Tier-1 benches -> BENCH_PR3.json "current" suite. The frozen "baseline"
+# Tier-1 benches -> BENCH_PR4.json "current" suite. The frozen "baseline"
 # suite is kept; when the file has none yet it is seeded from the previous
 # PR's "current" (BENCH_BASE), which is how the measured trajectory chains
 # across PRs. CI uploads the file as an artifact; see README "Performance"
 # for the format.
-BENCH_JSON ?= BENCH_PR3.json
-BENCH_BASE ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR3.json
 bench-json:
 	@rm -f .bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkTable4_MultiEM' -benchmem -count=1 . >> .bench.out
@@ -50,6 +57,6 @@ bench-json:
 	$(GO) test -run='^$$' -bench='Build1k|Search10k' -benchmem -count=1 ./internal/hnsw >> .bench.out
 	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
 	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
-	$(GO) run ./cmd/benchjson -pr 3 -desc 'Sharded matcher: concurrent ingest / mixed read-write / match-parity suites; baseline is PR 2 current' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -o $(BENCH_JSON) < .bench.out
+	$(GO) run ./cmd/benchjson -pr 4 -desc 'Durability subsystem: WAL-on vs WAL-off ingest (MatcherIngestWAL), parallel save/load; baseline is PR 3 current' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -o $(BENCH_JSON) < .bench.out
 	@rm -f .bench.out
 	@echo "wrote $(BENCH_JSON)"

@@ -489,6 +489,43 @@ func BenchmarkMatcherIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkMatcherIngestWAL measures the durability tax on ingest: the same
+// 256-row AddRecords batches as BenchmarkMatcherIngest (4 shards) with the
+// write-ahead log off, on with timer fsync, and on with fsync-per-batch.
+// The off/interval gap is the framing+write cost; interval/always is the
+// price of power-loss durability per acknowledged batch.
+func BenchmarkMatcherIngestWAL(b *testing.B) {
+	const batchSize = 256
+	for _, mode := range []string{"off", "interval", "always"} {
+		b.Run("wal="+mode, func(b *testing.B) {
+			var m *repro.Matcher
+			if mode == "off" {
+				m, _ = benchMatcher(b, 4)
+			} else {
+				d := mustGen(b, "Geo", 0.3, 11)
+				opt := repro.DefaultOptions()
+				opt.M = 0.5
+				opt.Shards = 4
+				var err error
+				m, err = repro.RecoverMatcher(
+					repro.WALConfig{Dir: b.TempDir(), Fsync: mode}, opt,
+					func() (*repro.Matcher, error) { return repro.BuildMatcher(d, opt) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.CloseWAL()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.AddRecords(benchIngestRows(i, batchSize)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batchSize*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
 // BenchmarkMatcherMixed is the serving-traffic shape: many goroutines issuing
 // Match with an AddRecords batch mixed in every 16th op, so reads contend
 // with per-shard write locks.

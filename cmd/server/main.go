@@ -8,17 +8,28 @@
 //	GET  /stats
 //	GET  /healthz
 //
+// With -wal-dir the matcher is durable: every /add batch is appended to
+// per-shard write-ahead logs (fsync policy via -fsync) before it is applied,
+// snapshots checkpoint the state on -snapshot-interval, and a restart with
+// the same -wal-dir replays the logs so no acknowledged ingest is lost — the
+// recovered state is bit-identical to the pre-crash matcher. SIGINT/SIGTERM
+// drain in-flight requests and flush the logs before exit.
+//
 // Usage:
 //
 //	server -dataset Geo -scale 0.3 -addr :8080
-//	server -load-index matcher.bin -save-index matcher.bin
+//	server -load-index matcher.bin -wal-dir ./wal -fsync always
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -26,17 +37,23 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		loadIndex = flag.String("load-index", "", "load a matcher saved by cmd/multiem or -save-index")
-		saveIndex = flag.String("save-index", "", "save the matcher after startup (and after building)")
-		dataDir   = flag.String("data", "", "dataset directory (source-*.csv [+ truth.csv])")
-		dataset   = flag.String("dataset", "", "synthetic benchmark name (Geo, Music-20, ...)")
-		scale     = flag.Float64("scale", 0.1, "generation scale for -dataset")
-		seed      = flag.Int64("seed", 1, "random seed")
-		k         = flag.Int("k", 1, "mutual top-K width")
-		m         = flag.Float64("m", 0.5, "merge distance threshold (cosine)")
-		parallel  = flag.Bool("parallel", true, "build with MultiEM(parallel)")
-		shards    = flag.Int("shards", 0, "matcher hash shards (0 = GOMAXPROCS; ignored with -load-index)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		loadIndex   = flag.String("load-index", "", "load a matcher saved by cmd/multiem or -save-index")
+		saveIndex   = flag.String("save-index", "", "save the matcher after startup (and after building)")
+		dataDir     = flag.String("data", "", "dataset directory (source-*.csv [+ truth.csv])")
+		dataset     = flag.String("dataset", "", "synthetic benchmark name (Geo, Music-20, ...)")
+		scale       = flag.Float64("scale", 0.1, "generation scale for -dataset")
+		seed        = flag.Int64("seed", 1, "random seed")
+		k           = flag.Int("k", 1, "mutual top-K width")
+		m           = flag.Float64("m", 0.5, "merge distance threshold (cosine)")
+		parallel    = flag.Bool("parallel", true, "build with MultiEM(parallel)")
+		shards      = flag.Int("shards", 0, "matcher hash shards (0 = GOMAXPROCS; ignored with -load-index)")
+		maxAddBytes = flag.Int64("max-add-bytes", defaultMaxAddBytes, "max /add request body size in bytes (larger batches get 413)")
+
+		walDir        = flag.String("wal-dir", "", "durability directory: write-ahead logs + snapshots; empty disables durability")
+		fsync         = flag.String("fsync", "interval", "WAL fsync policy: always | interval | off")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer for -fsync interval")
+		snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot cadence (0 disables; snapshots truncate the WAL)")
 	)
 	flag.Parse()
 
@@ -47,7 +64,27 @@ func main() {
 	opt.Seed = *seed
 	opt.Shards = *shards
 
-	matcher, err := loadOrBuild(*loadIndex, *dataDir, *dataset, *scale, *seed, opt)
+	base := func() (*repro.Matcher, error) {
+		return loadOrBuild(*loadIndex, *dataDir, *dataset, *scale, *seed, opt)
+	}
+	var matcher *repro.Matcher
+	var err error
+	if *walDir != "" {
+		cfg := repro.WALConfig{
+			Dir:              *walDir,
+			Fsync:            *fsync,
+			FsyncInterval:    *fsyncInterval,
+			SnapshotInterval: *snapInterval,
+		}
+		matcher, err = repro.RecoverMatcher(cfg, opt, base)
+		if err == nil {
+			ws := matcher.WALStats()
+			log.Printf("durability on: wal-dir %s, fsync %s, %d log segments (%d bytes), next seq %d (snapshot covers %d)",
+				ws.Dir, ws.Fsync, ws.Segments, ws.Bytes, ws.NextSeq, ws.SnapshotSeq)
+		}
+	} else {
+		matcher, err = base()
+	}
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
@@ -64,7 +101,7 @@ func main() {
 	log.Printf("listening on %s", *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(matcher),
+		Handler: newHandler(matcher, *maxAddBytes),
 		// Bound slow clients: without these a stalled connection pins a
 		// goroutine forever (slowloris).
 		ReadHeaderTimeout: 10 * time.Second,
@@ -72,8 +109,28 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: drain in-flight requests, then flush and fsync the
+	// WAL, so a deliberate stop never relies on crash recovery.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
 		log.Fatalf("server: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("server: shutdown: %v", err)
+		}
+		if err := matcher.CloseWAL(); err != nil {
+			log.Fatalf("server: wal flush: %v", err)
+		}
+		log.Printf("shutdown complete")
 	}
 }
 

@@ -14,10 +14,11 @@ import (
 // maxBodyBytes bounds single-record request bodies (match payloads).
 const maxBodyBytes = 8 << 20
 
-// maxAddBodyBytes is the larger cap for /add: it is the batched ingest path,
-// and a batch is partitioned across the matcher's shards and applied
-// concurrently, so bulk payloads are the intended use.
-const maxAddBodyBytes = 64 << 20
+// defaultMaxAddBytes is the default cap for /add bodies: it is the batched
+// ingest path, and a batch is partitioned across the matcher's shards and
+// applied concurrently, so bulk payloads are the intended use. Operators
+// resize it with -max-add-bytes.
+const defaultMaxAddBytes = 64 << 20
 
 // server exposes a repro.Matcher over HTTP. All handlers speak JSON. The
 // matcher is hash-sharded: /match fans out across shards under per-shard read
@@ -25,13 +26,19 @@ const maxAddBodyBytes = 64 << 20
 // slice — so match traffic keeps flowing on every shard an ingest batch is
 // not currently writing.
 type server struct {
-	m     *repro.Matcher
-	start time.Time
+	m *repro.Matcher
+	// maxAddBytes caps /add request bodies; larger payloads get a 413.
+	maxAddBytes int64
+	start       time.Time
 }
 
-// newHandler builds the route table for a matcher.
-func newHandler(m *repro.Matcher) http.Handler {
-	s := &server{m: m, start: time.Now()}
+// newHandler builds the route table for a matcher. maxAddBytes <= 0 keeps
+// the default /add body cap.
+func newHandler(m *repro.Matcher, maxAddBytes int64) http.Handler {
+	if maxAddBytes <= 0 {
+		maxAddBytes = defaultMaxAddBytes
+	}
+	s := &server{m: m, maxAddBytes: maxAddBytes, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /match", s.handleMatch)
 	mux.HandleFunc("POST /add", s.handleAdd)
@@ -67,8 +74,11 @@ type statsResponse struct {
 	repro.MatcherStats
 	// PerShard breaks the totals down by shard, so a hot or bloated shard
 	// is visible without attaching a debugger.
-	PerShard      []repro.ShardStats `json:"per_shard"`
-	UptimeSeconds float64            `json:"uptime_seconds"`
+	PerShard []repro.ShardStats `json:"per_shard"`
+	// WAL reports the durability subsystem — log segment counts and bytes,
+	// sequence numbers, snapshots — when the server runs with -wal-dir.
+	WAL           *repro.WALStats `json:"wal,omitempty"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
 }
 
 type errorResponse struct {
@@ -100,7 +110,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req addRequest
-	if !decode(w, r, &req, maxAddBodyBytes) {
+	if !decode(w, r, &req, s.maxAddBytes) {
 		return
 	}
 	if len(req.Records) == 0 {
@@ -126,23 +136,34 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// One snapshot for both views, so the totals always equal the
 	// per-shard sums even under concurrent ingest.
 	stats, perShard := s.m.StatsWithShards()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		MatcherStats:  stats,
 		PerShard:      perShard,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	if ws := s.m.WALStats(); ws.Enabled {
+		resp.WAL = &ws
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// decode parses a JSON request body into dst, writing a 400 and returning
-// false on malformed input.
+// decode parses a JSON request body into dst, writing a 400 on malformed
+// input — or a 413 when the body blows the size cap, so clients can tell
+// "split the batch" apart from "fix the payload" — and returning false.
 func decode(w http.ResponseWriter, r *http.Request, dst any, maxBytes int64) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes; split the batch or raise -max-add-bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return false
 	}

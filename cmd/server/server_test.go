@@ -54,7 +54,7 @@ func decodeBody[T any](t *testing.T, w *httptest.ResponseRecorder) T {
 
 func TestHealthz(t *testing.T) {
 	m, _ := testMatcher(t)
-	h := newHandler(m)
+	h := newHandler(m, 0)
 	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
@@ -68,7 +68,7 @@ func TestHealthz(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	m, d := testMatcher(t)
-	h := newHandler(m)
+	h := newHandler(m, 0)
 	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
@@ -104,7 +104,7 @@ func TestStats(t *testing.T) {
 // bare message.
 func TestAddBadRowIndexed(t *testing.T) {
 	m, d := testMatcher(t)
-	h := newHandler(m)
+	h := newHandler(m, 0)
 	byID := d.EntityByID()
 	good := byID[m.Result().Tuples[0][0]].Values
 
@@ -138,7 +138,7 @@ func TestAddBadRowIndexed(t *testing.T) {
 // in a tuple must return that tuple first.
 func TestMatchKnownDuplicate(t *testing.T) {
 	m, d := testMatcher(t)
-	h := newHandler(m)
+	h := newHandler(m, 0)
 	byID := d.EntityByID()
 	id := m.Result().Tuples[0][0]
 
@@ -163,7 +163,7 @@ func TestMatchKnownDuplicate(t *testing.T) {
 
 func TestAddThenMatch(t *testing.T) {
 	m, d := testMatcher(t)
-	h := newHandler(m)
+	h := newHandler(m, 0)
 	byID := d.EntityByID()
 	id := m.Result().Tuples[0][0]
 	values := byID[id].Values
@@ -186,7 +186,7 @@ func TestAddThenMatch(t *testing.T) {
 
 func TestBadRequests(t *testing.T) {
 	m, _ := testMatcher(t)
-	h := newHandler(m)
+	h := newHandler(m, 0)
 
 	cases := []struct {
 		method, path, body string
@@ -231,7 +231,7 @@ func TestSaveThenLoadServes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loadOrBuild: %v", err)
 	}
-	h := newHandler(loaded)
+	h := newHandler(loaded, 0)
 
 	byID := d.EntityByID()
 	id := m.Result().Tuples[0][0]
@@ -259,7 +259,7 @@ func TestSaveThenLoadServes(t *testing.T) {
 // layer (meaningful under -race).
 func TestConcurrentRequests(t *testing.T) {
 	m, d := testMatcher(t)
-	h := newHandler(m)
+	h := newHandler(m, 0)
 	byID := d.EntityByID()
 	values := byID[m.Result().Tuples[0][0]].Values
 
@@ -284,4 +284,84 @@ func TestConcurrentRequests(t *testing.T) {
 		}
 	}
 	wg.Wait()
+}
+
+// TestAddBodyCap413: an /add body over -max-add-bytes must come back as a
+// 413 (split the batch), not a 400 (fix the payload), and must not ingest.
+func TestAddBodyCap413(t *testing.T) {
+	m, d := testMatcher(t)
+	h := newHandler(m, 256) // tiny cap so the test payload trips it
+	byID := d.EntityByID()
+	good := byID[m.Result().Tuples[0][0]].Values
+
+	big := make([][]string, 64)
+	for i := range big {
+		big[i] = good
+	}
+	before := m.Stats().Entities
+	w := postJSON(t, h, "/add", addRequest{Records: big})
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized add: status %d, want 413 (body %s)", w.Code, w.Body)
+	}
+	if got := decodeBody[errorResponse](t, w); got.Error == "" {
+		t.Fatal("413 body missing error message")
+	}
+	if after := m.Stats().Entities; after != before {
+		t.Fatalf("oversized batch still ingested rows: %d -> %d entities", before, after)
+	}
+
+	// A batch under the cap still works, and /match keeps its own 8MiB cap.
+	if w := postJSON(t, h, "/add", addRequest{Records: [][]string{good}}); w.Code != http.StatusOK {
+		t.Fatalf("small add under tiny cap: status %d (body %s)", w.Code, w.Body)
+	}
+	if w := postJSON(t, h, "/match", matchRequest{Values: good, K: 1}); w.Code != http.StatusOK {
+		t.Fatalf("match with tiny add cap: status %d", w.Code)
+	}
+}
+
+// TestStatsReportsWAL: a durable matcher surfaces WAL segment counts and
+// bytes through /stats; an in-memory matcher omits the section.
+func TestStatsReportsWAL(t *testing.T) {
+	m, _ := testMatcher(t)
+	h := newHandler(m, 0)
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if got := decodeBody[statsResponse](t, w); got.WAL != nil {
+		t.Fatalf("in-memory matcher reported WAL stats: %+v", got.WAL)
+	}
+
+	d, err := repro.GenerateDataset("Geo", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	opt.Shards = 2
+	durable, err := repro.RecoverMatcher(
+		repro.WALConfig{Dir: t.TempDir(), Fsync: "off"}, opt,
+		func() (*repro.Matcher, error) { return repro.BuildMatcher(d, opt) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durable.CloseWAL()
+	h = newHandler(durable, 0)
+
+	byID := d.EntityByID()
+	good := byID[durable.Result().Tuples[0][0]].Values
+	if w := postJSON(t, h, "/add", addRequest{Records: [][]string{good}}); w.Code != http.StatusOK {
+		t.Fatalf("durable add: status %d (body %s)", w.Code, w.Body)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	got := decodeBody[statsResponse](t, w)
+	if got.WAL == nil || !got.WAL.Enabled {
+		t.Fatalf("durable matcher did not report WAL stats: %s", w.Body.String())
+	}
+	if got.WAL.Segments == 0 || got.WAL.Bytes == 0 || got.WAL.Appends == 0 {
+		t.Fatalf("WAL stats look empty after an ingest: %+v", got.WAL)
+	}
+	if got.WAL.Fsync != "off" || got.WAL.NextSeq != 1 {
+		t.Fatalf("WAL stats wrong: %+v", got.WAL)
+	}
 }

@@ -1,0 +1,647 @@
+package multiem
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/binio"
+	"repro/internal/wal"
+)
+
+// The durability subsystem: every AddRecords batch is appended, as raw rows,
+// to one write-ahead log per shard before the in-memory state changes, and a
+// snapshotter periodically checkpoints the whole matcher and truncates the
+// logs. Recovery = load the latest snapshot (or rebuild the base state) and
+// re-ingest the logged batches through the normal decision path, which is
+// deterministic — so the recovered matcher is bit-identical to the one that
+// crashed, down to its Save bytes.
+//
+// Log record layout (one per shard per batch, binio little-endian):
+//
+//	seq       int64   batch sequence number, global across shards
+//	totalRows uint32  rows in the whole batch
+//	nRows     uint32  rows in this shard's slice
+//	per row:  rowIdx uint32; nVals uint32; nVals × (len uint32 + bytes)
+//
+// A batch is replayable once the records of its seq, collected across all
+// shard logs, cover totalRows. Batches are serialized by addMu, so the only
+// incomplete batch a crash can leave is the last one — it was never
+// acknowledged and replay drops it whole.
+
+// WALConfig configures the durability subsystem for RecoverMatcher.
+type WALConfig struct {
+	// Dir is the durability directory: per-shard logs under shard-NNNN/,
+	// snapshots as snapshot-<seq>.bin.
+	Dir string
+	// Fsync is the log sync policy: "always" (fsync before an ingest
+	// returns), "interval" (fsync on a timer), or "off" (the OS decides).
+	// Empty means "interval".
+	Fsync string
+	// FsyncInterval is the timer for the "interval" policy; <= 0 means
+	// 100ms.
+	FsyncInterval time.Duration
+	// SegmentMaxBytes rotates log segments past this size; <= 0 uses the
+	// wal package default (64 MiB).
+	SegmentMaxBytes int64
+	// SnapshotInterval checkpoints the matcher and truncates the logs this
+	// often; <= 0 disables background snapshots (Snapshot can still be
+	// called explicitly).
+	SnapshotInterval time.Duration
+}
+
+// WALStats reports the durability subsystem's size and activity, aggregated
+// across the per-shard logs.
+type WALStats struct {
+	// Enabled is false for an in-memory matcher; all other fields are zero.
+	Enabled bool `json:"enabled"`
+	// Dir is the durability directory.
+	Dir string `json:"dir,omitempty"`
+	// Fsync is the active sync policy.
+	Fsync string `json:"fsync,omitempty"`
+	// Segments is the total live segment count across the shard logs.
+	Segments int `json:"segments"`
+	// Bytes is the total live log size in bytes.
+	Bytes int64 `json:"bytes"`
+	// Appends counts log records written since open.
+	Appends int64 `json:"appends"`
+	// Syncs counts fsyncs since open.
+	Syncs int64 `json:"syncs"`
+	// NextSeq is the sequence number the next ingest batch will get.
+	NextSeq uint64 `json:"next_seq"`
+	// SnapshotSeq is the sequence the latest snapshot covers: recovery
+	// replays only batches at or above it.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Snapshots counts checkpoints taken since open.
+	Snapshots int64 `json:"snapshots"`
+	// SnapshotErrors counts failed background checkpoints.
+	SnapshotErrors int64 `json:"snapshot_errors"`
+}
+
+// walState is a matcher's attached durability state.
+type walState struct {
+	cfg    WALConfig
+	policy wal.SyncPolicy
+	logs   []*wal.Log // one per shard, same order as m.shards
+
+	// seq is the next batch sequence number. Written under addMu; atomic so
+	// WALStats can read it without the ingest lock.
+	seq         atomic.Uint64
+	snapshotSeq atomic.Uint64
+	snapshots   atomic.Int64
+	snapErrs    atomic.Int64
+
+	// brokenErr fences ingest after a failed append; guarded by addMu.
+	brokenErr error
+
+	stop      chan struct{}
+	loops     sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// snapshotPrefix names checkpoint files; the suffix is the covered sequence.
+const snapshotPrefix = "snapshot-"
+
+func snapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d.bin", snapshotPrefix, seq))
+}
+
+// latestSnapshot finds the newest checkpoint in dir, returning ok=false when
+// there is none. Incomplete checkpoints never surface here: Snapshot writes
+// to a .tmp and renames atomically.
+func latestSnapshot(dir string) (path string, seq uint64, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("multiem: wal dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), ".bin"), 10, 64)
+		if perr != nil {
+			return "", 0, false, fmt.Errorf("multiem: wal dir: unparseable snapshot name %q", name)
+		}
+		if !ok || n > seq {
+			path, seq, ok = filepath.Join(dir, name), n, true
+		}
+	}
+	return path, seq, ok, nil
+}
+
+// shardLogDir names shard s's log directory under the durability dir.
+func shardLogDir(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", s))
+}
+
+// RecoverMatcher opens (or creates) the durability directory and returns a
+// matcher with the WAL attached:
+//
+//  1. The latest snapshot, when one exists, is loaded; otherwise base() must
+//     produce the starting state (build the pipeline, or load a saved
+//     matcher file) — it must be deterministic for recovery to be exact.
+//  2. Every batch logged at or after the snapshot is replayed through the
+//     normal ingest path, so the recovered state is bit-identical to the
+//     matcher that crashed. A torn tail (crash mid-append) ends replay
+//     cleanly at the last whole batch.
+//  3. Subsequent AddRecords append to the logs under cfg's fsync policy,
+//     and a background snapshotter (cfg.SnapshotInterval > 0) bounds
+//     recovery time by log-since-snapshot.
+//
+// Call CloseWAL on shutdown to flush and fsync the logs.
+func RecoverMatcher(cfg WALConfig, opt Options, base func() (*Matcher, error)) (*Matcher, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("multiem: RecoverMatcher: WALConfig.Dir is required")
+	}
+	if cfg.Fsync == "" {
+		cfg.Fsync = "interval"
+	}
+	policy, err := wal.ParsePolicy(cfg.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("multiem: %w", err)
+	}
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("multiem: wal dir: %w", err)
+	}
+
+	snapPath, snapSeq, haveSnap, err := latestSnapshot(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var m *Matcher
+	if haveSnap {
+		f, err := os.Open(snapPath)
+		if err != nil {
+			return nil, fmt.Errorf("multiem: open snapshot: %w", err)
+		}
+		m, err = LoadMatcher(f, opt)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("multiem: load snapshot %s: %w", filepath.Base(snapPath), err)
+		}
+	} else {
+		if m, err = base(); err != nil {
+			return nil, err
+		}
+		if m.wal != nil {
+			return nil, errors.New("multiem: RecoverMatcher: base matcher already has a WAL attached")
+		}
+	}
+
+	// The logs are laid out one directory per shard; a directory beyond the
+	// matcher's shard count means the log belongs to a different topology
+	// and replaying a subset of it would silently lose batches.
+	if err := checkShardDirs(cfg.Dir, m.Shards()); err != nil {
+		return nil, err
+	}
+	ws := &walState{cfg: cfg, policy: policy, stop: make(chan struct{})}
+	ws.logs = make([]*wal.Log, m.Shards())
+	closeLogs := func() {
+		for _, l := range ws.logs {
+			if l != nil {
+				l.Close()
+			}
+		}
+	}
+	for s := range ws.logs {
+		if ws.logs[s], err = wal.Open(shardLogDir(cfg.Dir, s), wal.Options{SegmentMaxBytes: cfg.SegmentMaxBytes}); err != nil {
+			closeLogs()
+			return nil, err
+		}
+	}
+
+	nextSeq, sawIncomplete, err := m.replayWAL(ws.logs, snapSeq, policy)
+	if err != nil {
+		closeLogs()
+		return nil, err
+	}
+	ws.seq.Store(nextSeq)
+	ws.snapshotSeq.Store(snapSeq)
+	m.wal = ws
+
+	// A dropped incomplete batch leaves its partial records in the logs. Its
+	// sequence number is about to be reused, so checkpoint now and truncate:
+	// the stale records vanish and the namespace is clean again.
+	if sawIncomplete {
+		if _, err := m.Snapshot(); err != nil {
+			closeLogs()
+			return nil, fmt.Errorf("multiem: recovery checkpoint: %w", err)
+		}
+	}
+
+	ws.startLoops(m)
+	return m, nil
+}
+
+// checkShardDirs rejects a durability dir whose shard logs outnumber the
+// matcher's shards.
+func checkShardDirs(dir string, nShards int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("multiem: wal dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "shard-") {
+			continue
+		}
+		n, perr := strconv.Atoi(strings.TrimPrefix(name, "shard-"))
+		if perr != nil {
+			return fmt.Errorf("multiem: wal dir: unparseable shard log dir %q", name)
+		}
+		if n >= nShards {
+			return fmt.Errorf("multiem: wal dir has a log for shard %d but the matcher has %d shards (topology mismatch)", n, nShards)
+		}
+	}
+	return nil
+}
+
+// startLoops launches the background fsync ticker (interval policy) and the
+// snapshotter.
+func (ws *walState) startLoops(m *Matcher) {
+	if ws.policy == wal.SyncInterval {
+		ws.loops.Add(1)
+		go func() {
+			defer ws.loops.Done()
+			t := time.NewTicker(ws.cfg.FsyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ws.stop:
+					return
+				case <-t.C:
+					for _, l := range ws.logs {
+						l.Sync() // a failed interval fsync retries next tick
+					}
+				}
+			}
+		}()
+	}
+	if ws.cfg.SnapshotInterval > 0 {
+		ws.loops.Add(1)
+		go func() {
+			defer ws.loops.Done()
+			t := time.NewTicker(ws.cfg.SnapshotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ws.stop:
+					return
+				case <-t.C:
+					if _, err := m.Snapshot(); err != nil {
+						ws.snapErrs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// walAppendBatch logs one ingest batch: each shard's slice of the rows goes
+// to that shard's log concurrently, fsynced in place under the "always"
+// policy. Called from addBatchLocked under addMu, before any state changes.
+//
+// A failed append rejects the batch (in-memory state untouched) and poisons
+// the WAL: every later ingest fails too. Failing closed is what keeps the
+// log replayable — the failed sequence may sit half-written across the
+// shard logs, and appending more batches over it would let replay confuse
+// two batches' records for one. Like any commit-time I/O error, the
+// caller-visible outcome is indeterminate: if the records did reach every
+// log before the failure (say, only an fsync failed), recovery will find
+// the batch complete and apply it; if they did not, the incomplete batch is
+// dropped and checkpointed away. Either way the recovered state is
+// consistent, and ingest resumes after the restart.
+func (m *Matcher) walAppendBatch(rows [][]string, perShard [][]int) error {
+	ws := m.wal
+	if ws.brokenErr != nil {
+		return fmt.Errorf("multiem: wal failed earlier, ingest is fenced (restart to recover): %w", ws.brokenErr)
+	}
+	seq := ws.seq.Load()
+	errs := make([]error, len(ws.logs))
+	parallelFor(len(ws.logs), len(ws.logs), func(s int) {
+		if len(perShard[s]) == 0 {
+			return
+		}
+		payload := encodeBatchRecord(seq, len(rows), perShard[s], rows)
+		if err := ws.logs[s].Append(payload); err != nil {
+			errs[s] = err
+			return
+		}
+		if ws.policy == wal.SyncAlways {
+			errs[s] = ws.logs[s].Sync()
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		ws.brokenErr = err
+		return fmt.Errorf("multiem: wal append: %w", err)
+	}
+	ws.seq.Add(1)
+	return nil
+}
+
+// encodeBatchRecord frames one shard's slice of a batch for its log.
+func encodeBatchRecord(seq uint64, totalRows int, rowIdx []int, rows [][]string) []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	binio.WriteI64(bw, int64(seq))
+	binio.WriteU32(bw, uint32(totalRows))
+	binio.WriteU32(bw, uint32(len(rowIdx)))
+	for _, i := range rowIdx {
+		binio.WriteU32(bw, uint32(i))
+		binio.WriteU32(bw, uint32(len(rows[i])))
+		for _, v := range rows[i] {
+			binio.WriteString(bw, v)
+		}
+	}
+	bw.Flush() // a bytes.Buffer write cannot fail
+	return buf.Bytes()
+}
+
+// decodeBatchRecord parses one log record back into its shard slice.
+func decodeBatchRecord(payload []byte) (seq uint64, totalRows int, rowIdx []int, rows [][]string, err error) {
+	rd := binio.NewReader(bufio.NewReader(bytes.NewReader(payload)))
+	seq = uint64(rd.I64())
+	totalRows = int(rd.U32())
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return 0, 0, nil, nil, rd.Err()
+	}
+	if totalRows <= 0 || totalRows > maxSaneCount || n <= 0 || n > totalRows {
+		return 0, 0, nil, nil, fmt.Errorf("corrupt batch record: %d rows of %d", n, totalRows)
+	}
+	rowIdx = make([]int, n)
+	rows = make([][]string, n)
+	for i := 0; i < n; i++ {
+		rowIdx[i] = int(rd.U32())
+		nVals := int(rd.U32())
+		if rd.Err() != nil {
+			return 0, 0, nil, nil, rd.Err()
+		}
+		if rowIdx[i] < 0 || rowIdx[i] >= totalRows || nVals < 0 || nVals > maxSaneSchema {
+			return 0, 0, nil, nil, fmt.Errorf("corrupt batch record: row %d/%d with %d values", rowIdx[i], totalRows, nVals)
+		}
+		vals := make([]string, nVals)
+		for j := range vals {
+			vals[j] = rd.Str(maxSaneStr)
+		}
+		rows[i] = vals
+	}
+	if err := rd.Err(); err != nil {
+		return 0, 0, nil, nil, err
+	}
+	return seq, totalRows, rowIdx, rows, nil
+}
+
+// pendingBatch accumulates one batch's rows as its per-shard records are
+// read back.
+type pendingBatch struct {
+	total int
+	rows  map[int][]string // batch row index -> values
+}
+
+// replayWAL re-ingests every complete batch logged at or after startSeq, in
+// sequence order, through the normal (layout-independent) decision path.
+// It returns the next sequence number to assign and whether dropped batches
+// were found — remnants of a crash, whose leftover records the caller must
+// truncate away (via a checkpoint) before their sequences are reused.
+func (m *Matcher) replayWAL(logs []*wal.Log, startSeq uint64, policy wal.SyncPolicy) (nextSeq uint64, sawDropped bool, err error) {
+	batches := make(map[uint64]*pendingBatch)
+	for s, l := range logs {
+		err := l.Replay(func(payload []byte) error {
+			seq, total, rowIdx, rows, err := decodeBatchRecord(payload)
+			if err != nil {
+				return fmt.Errorf("multiem: wal shard %d: %w", s, err)
+			}
+			if seq < startSeq {
+				return nil // covered by the snapshot; segment not yet dropped
+			}
+			b := batches[seq]
+			if b == nil {
+				b = &pendingBatch{total: total, rows: make(map[int][]string, len(rowIdx))}
+				batches[seq] = b
+			}
+			if b.total != total {
+				return fmt.Errorf("multiem: wal shard %d: batch %d row count disagrees across shards (%d vs %d)", s, seq, total, b.total)
+			}
+			for i, idx := range rowIdx {
+				if _, dup := b.rows[idx]; dup {
+					return fmt.Errorf("multiem: wal shard %d: batch %d row %d logged twice", s, seq, idx)
+				}
+				b.rows[idx] = rows[i]
+			}
+			return nil
+		})
+		// A torn tail is the expected remnant of a crash: every whole record
+		// before it was delivered, and the batch it belonged to is dropped
+		// below as incomplete. Anything else is real corruption.
+		if err != nil && !errors.Is(err, wal.ErrTornWrite) {
+			return 0, false, err
+		}
+	}
+
+	seq := startSeq
+	for {
+		b, ok := batches[seq]
+		if !ok || len(b.rows) != b.total {
+			break
+		}
+		rows := make([][]string, b.total)
+		for i := range rows {
+			rows[i] = b.rows[i]
+			if err := m.checkArity(rows[i], i); err != nil {
+				return 0, false, fmt.Errorf("multiem: wal batch %d does not fit the matcher schema (wrong base state?): %w", seq, err)
+			}
+		}
+		m.addMu.Lock()
+		res, err := m.addBatchLocked(rows, false)
+		m.addMu.Unlock()
+		// A compaction failure comes back alongside results, exactly as it
+		// did on the original ingest; the batch is applied either way.
+		if res == nil && err != nil {
+			return 0, false, fmt.Errorf("multiem: wal replay batch %d: %w", seq, err)
+		}
+		delete(batches, seq)
+		seq++
+	}
+	// Whatever remains past the stop point is dropped. Under "always" every
+	// acknowledged batch was fsynced in order, so the only droppable remnant
+	// is the final, incomplete batch — a complete one beyond the stop means
+	// the log and the replay rule disagree, which must not pass silently.
+	// Under "interval"/"off" a power loss can also persist the shard files
+	// out of order (OS writeback), leaving a complete batch stranded past a
+	// hole; that suffix is exactly the documented bounded-loss window, so it
+	// is dropped rather than failing recovery for good.
+	if policy == wal.SyncAlways {
+		for s, b := range batches {
+			if len(b.rows) == b.total && s != seq {
+				return 0, false, fmt.Errorf("multiem: wal batch %d is complete but unreachable (missing batch %d) despite fsync=always", s, seq)
+			}
+		}
+	}
+	return seq, len(batches) > 0, nil
+}
+
+// Snapshot checkpoints the matcher into the durability directory and
+// truncates the logs: state is saved atomically as snapshot-<seq>.bin (the
+// per-shard sections serialized concurrently), log segments the checkpoint
+// covers are deleted, and older snapshots are removed. Recovery cost from
+// here on is the log written since this call. It blocks ingest (but not
+// Match) for the duration of the save.
+func (m *Matcher) Snapshot() (seq uint64, err error) {
+	ws := m.wal
+	if ws == nil {
+		return 0, errors.New("multiem: Snapshot: no WAL attached")
+	}
+	m.addMu.Lock()
+	seq = ws.seq.Load()
+	// Seal the active segments first: every record covered by this
+	// checkpoint then lives in a sealed segment that can be dropped.
+	cuts := make([]int64, len(ws.logs))
+	for s, l := range ws.logs {
+		cuts[s] = l.ActiveSegment()
+		if err := l.Rotate(); err != nil {
+			m.addMu.Unlock()
+			return 0, fmt.Errorf("multiem: snapshot: %w", err)
+		}
+	}
+	path := snapshotPath(ws.cfg.Dir, seq)
+	tmp := path + ".tmp"
+	err = func() error {
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := m.saveLocked(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}()
+	m.addMu.Unlock()
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("multiem: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("multiem: snapshot: %w", err)
+	}
+	syncDir(ws.cfg.Dir) // make the rename itself durable
+
+	// The checkpoint is durable: the log prefix and older snapshots are now
+	// redundant. Failures past this point leave extra files, not lost data,
+	// so they surface as errors but the snapshot stands.
+	ws.snapshotSeq.Store(seq)
+	ws.snapshots.Add(1)
+	var cleanupErrs []error
+	for s, l := range ws.logs {
+		if err := l.DropSegmentsThrough(cuts[s]); err != nil {
+			cleanupErrs = append(cleanupErrs, err)
+		}
+	}
+	if err := dropOldSnapshots(ws.cfg.Dir, seq); err != nil {
+		cleanupErrs = append(cleanupErrs, err)
+	}
+	if err := errors.Join(cleanupErrs...); err != nil {
+		return seq, fmt.Errorf("multiem: snapshot taken, cleanup failed: %w", err)
+	}
+	return seq, nil
+}
+
+// dropOldSnapshots removes checkpoints older than keep.
+func dropOldSnapshots(dir string, keep uint64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), ".bin"), 10, 64)
+		if perr != nil || n >= keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss;
+// best-effort (some platforms refuse directory fsyncs).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// CloseWAL stops the background loops and flushes and fsyncs every shard
+// log — the graceful-shutdown path. The matcher remains usable for reads;
+// further AddRecords fail (their log is closed). Safe to call more than
+// once, and a no-op for an in-memory matcher.
+func (m *Matcher) CloseWAL() error {
+	ws := m.wal
+	if ws == nil {
+		return nil
+	}
+	ws.closeOnce.Do(func() {
+		close(ws.stop)
+		ws.loops.Wait()
+		var errs []error
+		for _, l := range ws.logs {
+			if err := l.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		ws.closeErr = errors.Join(errs...)
+	})
+	return ws.closeErr
+}
+
+// WALStats reports the durability subsystem's aggregate state; the zero
+// value (Enabled=false) for an in-memory matcher.
+func (m *Matcher) WALStats() WALStats {
+	ws := m.wal
+	if ws == nil {
+		return WALStats{}
+	}
+	st := WALStats{
+		Enabled:        true,
+		Dir:            ws.cfg.Dir,
+		Fsync:          ws.policy.String(),
+		NextSeq:        ws.seq.Load(),
+		SnapshotSeq:    ws.snapshotSeq.Load(),
+		Snapshots:      ws.snapshots.Load(),
+		SnapshotErrors: ws.snapErrs.Load(),
+	}
+	for _, l := range ws.logs {
+		ls := l.Stats()
+		st.Segments += ls.Segments
+		st.Bytes += ls.Bytes
+		st.Appends += ls.Appends
+		st.Syncs += ls.Syncs
+	}
+	return st
+}

@@ -1,0 +1,484 @@
+package multiem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/table"
+)
+
+// durOpts fixes a shard count so the WAL topology is deterministic across
+// the test matrix (GOMAXPROCS varies by machine).
+func durOpts(shards int) Options {
+	o := geoOpts()
+	o.Shards = shards
+	return o
+}
+
+// buildBase builds the deterministic pre-WAL matcher the recovery tests
+// start from.
+func buildBase(t *testing.T, d *table.Dataset, shards int) *Matcher {
+	t.Helper()
+	m, err := BuildMatcher(d, durOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// baseLoader builds the base matcher once and returns a loader that
+// rehydrates exact copies from its Save bytes — the moral equivalent of the
+// server's -load-index base, and far cheaper than re-running the pipeline
+// for every subtest (the recovery matrix uses dozens of base states).
+func baseLoader(t *testing.T, d *table.Dataset, shards int) func() (*Matcher, error) {
+	t.Helper()
+	raw := saveBytes(t, buildBase(t, d, shards))
+	return func() (*Matcher, error) {
+		return LoadMatcher(bytes.NewReader(raw), durOpts(shards))
+	}
+}
+
+// randomBatches derives N seeded batches: a mix of near-duplicates of
+// existing entities (absorptions), mutual duplicates (intra-batch chaining),
+// and fresh singletons — every decision branch of AddRecords.
+func randomBatches(d *table.Dataset, n, rowsPer int, seed int64) [][][]string {
+	rng := rand.New(rand.NewSource(seed))
+	byID := d.EntityByID()
+	var ids []int
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	// Map iteration order is random: sort for determinism.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	batches := make([][][]string, n)
+	for b := range batches {
+		rows := make([][]string, rowsPer)
+		for r := range rows {
+			switch rng.Intn(3) {
+			case 0: // near-duplicate of an existing entity
+				e := byID[ids[rng.Intn(len(ids))]]
+				row := append([]string(nil), e.Values...)
+				row[0] = strings.ToLower(row[0])
+				rows[r] = row
+			case 1: // duplicate of an earlier row in this batch, if any
+				if r > 0 {
+					rows[r] = append([]string(nil), rows[r-1]...)
+				} else {
+					rows[r] = []string{fmt.Sprintf("solo %d %d", b, r), "1.0", "2.0"}
+				}
+			default: // fresh singleton
+				rows[r] = []string{fmt.Sprintf("fresh place %d-%d-%d", b, r, rng.Intn(999)), fmt.Sprintf("%d.5", rng.Intn(80)), fmt.Sprintf("-%d.25", rng.Intn(60))}
+			}
+		}
+		batches[b] = rows
+	}
+	return batches
+}
+
+// saveBytes captures a matcher's exact persistent state.
+func saveBytes(t *testing.T, m *Matcher) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// assertMatchersIdentical asserts the two matchers are bit-identical: Save
+// bytes, Stats, Tuples, Match results on probes, and the results of one more
+// identical AddRecords batch.
+func assertMatchersIdentical(t *testing.T, want, got *Matcher, d *table.Dataset) {
+	t.Helper()
+	if w, g := saveBytes(t, want), saveBytes(t, got); !bytes.Equal(w, g) {
+		t.Fatalf("Save bytes differ: %d vs %d bytes", len(w), len(g))
+	}
+	if w, g := want.Stats(), got.Stats(); fmt.Sprintf("%+v", w) != fmt.Sprintf("%+v", g) {
+		t.Fatalf("Stats differ:\n  want %+v\n  got  %+v", w, g)
+	}
+	wt, wc := want.Tuples()
+	gt, gc := got.Tuples()
+	if !reflect.DeepEqual(wt, gt) || !reflect.DeepEqual(wc, gc) {
+		t.Fatalf("Tuples differ: %d vs %d tuples", len(wt), len(gt))
+	}
+	byID := d.EntityByID()
+	probes := 0
+	for _, tuple := range wt {
+		if probes >= 8 {
+			break
+		}
+		if e, ok := byID[tuple[0]]; ok {
+			probes++
+			w, errW := want.Match(e.Values, 5)
+			g, errG := got.Match(e.Values, 5)
+			if errW != nil || errG != nil {
+				t.Fatalf("Match: %v / %v", errW, errG)
+			}
+			if !reflect.DeepEqual(w, g) {
+				t.Fatalf("Match(%v) differs:\n  want %+v\n  got  %+v", e.Values, w, g)
+			}
+		}
+	}
+	extra := [][]string{
+		{"post recovery probe", "3.5", "-2.25"},
+		{"post recovery probe", "3.5", "-2.25"},
+	}
+	w, errW := want.AddRecords(extra)
+	g, errG := got.AddRecords(extra)
+	if errW != nil || errG != nil {
+		t.Fatalf("AddRecords after recovery: %v / %v", errW, errG)
+	}
+	if !reflect.DeepEqual(w, g) {
+		t.Fatalf("AddRecords after recovery diverges:\n  want %+v\n  got  %+v", w, g)
+	}
+}
+
+// TestCrashRecoveryProperty is the acceptance property: after N random
+// batches, reopening from snapshot+WAL yields a matcher bit-identical to the
+// uncrashed one — Stats, Tuples, Match, Save bytes, and subsequent
+// AddRecords — for shard counts {1, 4} and all three fsync policies.
+func TestCrashRecoveryProperty(t *testing.T) {
+	d := smallGeo(t)
+	for _, shards := range []int{1, 4} {
+		load := baseLoader(t, d, shards)
+		for _, fsync := range []string{"always", "interval", "off"} {
+			for _, snapshotMidway := range []bool{false, true} {
+				name := fmt.Sprintf("shards=%d/fsync=%s/snapshot=%v", shards, fsync, snapshotMidway)
+				t.Run(name, func(t *testing.T) {
+					dir := t.TempDir()
+					cfg := WALConfig{Dir: dir, Fsync: fsync, FsyncInterval: 10 * time.Millisecond}
+
+					live, err := RecoverMatcher(cfg, durOpts(shards), load)
+					if err != nil {
+						t.Fatalf("RecoverMatcher (fresh): %v", err)
+					}
+					uncrashed, err := load()
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					batches := randomBatches(d, 6, 8, 42)
+					for i, rows := range batches {
+						lr, err := live.AddRecords(rows)
+						if err != nil {
+							t.Fatalf("live AddRecords: %v", err)
+						}
+						ur, err := uncrashed.AddRecords(rows)
+						if err != nil {
+							t.Fatalf("uncrashed AddRecords: %v", err)
+						}
+						if !reflect.DeepEqual(lr, ur) {
+							t.Fatalf("batch %d: WAL-attached ingest diverges from plain ingest", i)
+						}
+						if snapshotMidway && i == len(batches)/2 {
+							if _, err := live.Snapshot(); err != nil {
+								t.Fatalf("Snapshot: %v", err)
+							}
+						}
+					}
+
+					// Crash: abandon the live matcher without a final sync
+					// (appends are flushed to the OS, which survives a
+					// process kill under every policy). CloseWAL afterwards
+					// only stops the background goroutines.
+					st := live.WALStats()
+					if !st.Enabled || st.Appends == 0 {
+						t.Fatalf("WAL did not record the ingest: %+v", st)
+					}
+					live.CloseWAL()
+
+					baseCalled := false
+					recovered, err := RecoverMatcher(cfg, durOpts(shards), func() (*Matcher, error) {
+						baseCalled = true
+						return load()
+					})
+					if err != nil {
+						t.Fatalf("RecoverMatcher (recovery): %v", err)
+					}
+					defer recovered.CloseWAL()
+					if snapshotMidway && baseCalled {
+						t.Fatal("recovery rebuilt the base despite a snapshot")
+					}
+					if !snapshotMidway && !baseCalled {
+						t.Fatal("recovery skipped the base builder with no snapshot present")
+					}
+					assertMatchersIdentical(t, uncrashed, recovered, d)
+				})
+			}
+		}
+	}
+}
+
+// TestRecoveryDropsTornFinalBatch tears the tail of one shard's log after a
+// crash: the final batch must be dropped whole (never half-applied), the
+// recovered matcher must equal the uncrashed matcher minus that batch, and
+// the recovery checkpoint must leave the logs clean for the next restart.
+func TestRecoveryDropsTornFinalBatch(t *testing.T) {
+	d := smallGeo(t)
+	const shards = 4
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, Fsync: "off"}
+	load := baseLoader(t, d, shards)
+
+	live, err := RecoverMatcher(cfg, durOpts(shards), load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := load() // will receive all but the last batch
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := randomBatches(d, 4, 8, 7)
+	var finalResults []AddResult
+	for i, rows := range batches {
+		res, err := live.AddRecords(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(batches)-1 {
+			if _, err := reference.AddRecords(rows); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			finalResults = res
+		}
+	}
+	live.CloseWAL()
+
+	// Tear the tail of one shard log that holds part of the final batch (the
+	// last record of such a log is that batch's slice): chop 3 bytes,
+	// mid-record. The batch is then incomplete and must be dropped whole —
+	// including its intact slices on the other shards.
+	tearShard := -1
+	for _, r := range finalResults {
+		s, _ := splitTupleID(r.Tuple)
+		if tearShard < 0 || s < tearShard {
+			tearShard = s
+		}
+	}
+	if tearShard < 0 {
+		t.Fatal("final batch produced no results; test is vacuous")
+	}
+	segs, err := filepath.Glob(filepath.Join(shardLogDir(dir, tearShard), "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("shard %d: no segments (%v)", tearShard, err)
+	}
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) <= 11 {
+		t.Fatalf("segment %s too small to tear (%d bytes)", last, len(b))
+	}
+	if err := os.WriteFile(last, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := RecoverMatcher(cfg, durOpts(shards), load)
+	if err != nil {
+		t.Fatalf("RecoverMatcher after tear: %v", err)
+	}
+	defer recovered.CloseWAL()
+	// The incomplete batch forced a recovery checkpoint, so the partial
+	// records are gone and the next restart starts from the snapshot.
+	if st := recovered.WALStats(); st.Snapshots == 0 {
+		t.Fatalf("recovery did not checkpoint away the torn batch: %+v", st)
+	}
+	assertMatchersIdentical(t, reference, recovered, d)
+}
+
+// TestSnapshotTruncatesLogs asserts the snapshotter actually bounds the log:
+// after a checkpoint the logs hold only the post-snapshot suffix, older
+// snapshots are removed, and recovery still works from the combination.
+func TestSnapshotTruncatesLogs(t *testing.T) {
+	d := smallGeo(t)
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, Fsync: "off", SegmentMaxBytes: 1 << 10}
+	live, err := RecoverMatcher(cfg, durOpts(2), func() (*Matcher, error) {
+		return BuildMatcher(d, durOpts(2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range randomBatches(d, 4, 8, 3) {
+		if _, err := live.AddRecords(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := live.WALStats()
+	seq1, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := live.WALStats()
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("snapshot did not shrink the logs: %d -> %d bytes", before.Bytes, after.Bytes)
+	}
+	if after.SnapshotSeq != seq1 || after.NextSeq != seq1 {
+		t.Fatalf("sequence bookkeeping off: %+v (snapshot seq %d)", after, seq1)
+	}
+
+	// A second snapshot replaces the first on disk.
+	if _, err := live.AddRecords([][]string{{"one more", "1.0", "1.0"}}); err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 != seq1+1 {
+		t.Fatalf("snapshot seqs: %d then %d", seq1, seq2)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, snapshotPrefix+"*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0] != snapshotPath(dir, seq2) {
+		t.Fatalf("snapshot files after second checkpoint: %v", snaps)
+	}
+	live.CloseWAL()
+
+	recovered, err := RecoverMatcher(cfg, durOpts(2), func() (*Matcher, error) {
+		return nil, errors.New("base must not be rebuilt when a snapshot exists")
+	})
+	if err != nil {
+		t.Fatalf("recover from snapshot: %v", err)
+	}
+	defer recovered.CloseWAL()
+	if got, want := saveBytes(t, recovered), saveBytes(t, live); !bytes.Equal(got, want) {
+		t.Fatal("recovered state differs from the snapshotted matcher")
+	}
+}
+
+// TestRecoverMatcherRejectsTopologyMismatch: logs written by a 4-shard
+// matcher must not silently replay onto a 2-shard base.
+func TestRecoverMatcherRejectsTopologyMismatch(t *testing.T) {
+	d := smallGeo(t)
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, Fsync: "off"}
+	m, err := RecoverMatcher(cfg, durOpts(4), func() (*Matcher, error) {
+		return BuildMatcher(d, durOpts(4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddRecords([][]string{{"x", "1.0", "2.0"}}); err != nil {
+		t.Fatal(err)
+	}
+	m.CloseWAL()
+
+	_, err = RecoverMatcher(cfg, durOpts(2), func() (*Matcher, error) {
+		return BuildMatcher(d, durOpts(2))
+	})
+	if err == nil || !strings.Contains(err.Error(), "topology mismatch") {
+		t.Fatalf("expected topology mismatch error, got %v", err)
+	}
+}
+
+// TestBackgroundSnapshotLoop: with a tiny interval, the snapshotter must
+// checkpoint on its own.
+func TestBackgroundSnapshotLoop(t *testing.T) {
+	d := smallGeo(t)
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, Fsync: "interval", FsyncInterval: 5 * time.Millisecond, SnapshotInterval: 20 * time.Millisecond}
+	m, err := RecoverMatcher(cfg, durOpts(2), func() (*Matcher, error) {
+		return BuildMatcher(d, durOpts(2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.CloseWAL()
+	if _, err := m.AddRecords([][]string{{"bg snap probe", "4.0", "5.0"}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.WALStats().Snapshots == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background snapshotter never ran: %+v", m.WALStats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.WALStats().Syncs == 0 {
+		t.Fatalf("interval fsync loop never synced: %+v", m.WALStats())
+	}
+}
+
+// TestEmptyBatchDoesNotBurnSequence: an empty AddRecords writes no log
+// records, so it must not consume a sequence number either — a seq with no
+// records would be a permanent hole that stops every future replay.
+func TestEmptyBatchDoesNotBurnSequence(t *testing.T) {
+	d := smallGeo(t)
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, Fsync: "off"}
+	load := baseLoader(t, d, 2)
+	live, err := RecoverMatcher(cfg, durOpts(2), load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.AddRecords(nil); err != nil {
+		t.Fatalf("empty AddRecords: %v", err)
+	}
+	if _, err := live.AddRecords([][]string{}); err != nil {
+		t.Fatalf("empty AddRecords: %v", err)
+	}
+	if seq := live.WALStats().NextSeq; seq != 0 {
+		t.Fatalf("empty batches burned sequence numbers: next_seq %d", seq)
+	}
+	if _, err := live.AddRecords([][]string{{"real row", "1.0", "2.0"}}); err != nil {
+		t.Fatal(err)
+	}
+	uncrashed, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uncrashed.AddRecords([][]string{{"real row", "1.0", "2.0"}}); err != nil {
+		t.Fatal(err)
+	}
+	live.CloseWAL()
+
+	recovered, err := RecoverMatcher(cfg, durOpts(2), load)
+	if err != nil {
+		t.Fatalf("recovery after empty batches: %v", err)
+	}
+	defer recovered.CloseWAL()
+	assertMatchersIdentical(t, uncrashed, recovered, d)
+}
+
+// TestCloseWALFencesIngest: after the graceful shutdown flush, reads keep
+// working and further ingest fails instead of silently skipping the log.
+func TestCloseWALFencesIngest(t *testing.T) {
+	d := smallGeo(t)
+	dir := t.TempDir()
+	m, err := RecoverMatcher(WALConfig{Dir: dir, Fsync: "off"}, durOpts(2), func() (*Matcher, error) {
+		return BuildMatcher(d, durOpts(2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseWAL(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := m.Match([]string{"still serving", "1.0", "2.0"}, 1); err != nil {
+		t.Fatalf("Match after CloseWAL: %v", err)
+	}
+	if _, err := m.AddRecords([][]string{{"too late", "1.0", "2.0"}}); err == nil {
+		t.Fatal("AddRecords succeeded after CloseWAL; the batch would be unlogged")
+	}
+}

@@ -2,6 +2,7 @@ package multiem
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -147,6 +148,10 @@ type Matcher struct {
 	// nextID is the next entity ID to hand out; guarded by addMu.
 	nextID int
 	result *Result // pipeline output; nil when loaded from disk
+	// wal is the attached durability state (per-shard logs + snapshotter),
+	// or nil when the matcher runs in-memory only. Set once by
+	// RecoverMatcher before the matcher is shared, never reassigned.
+	wal *walState
 }
 
 // resolveShards maps the Shards option to a concrete shard count.
@@ -531,6 +536,13 @@ type batchTuple struct {
 // Assigned entity IDs are fresh and dense in row order. On a compaction
 // failure the records are still ingested (the shard keeps serving from its
 // previous index) and the error is returned alongside the results.
+//
+// With a WAL attached (RecoverMatcher), the batch's raw rows are appended to
+// the per-shard logs — each shard's log gets that shard's slice — after the
+// decisions are made and before any shard state changes, so a batch is
+// either fully logged or not applied at all. Under the "always" fsync policy
+// the logs are also fsynced before the apply, so an acknowledged batch
+// survives power loss.
 func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 	for i, values := range rows {
 		if err := m.checkArity(values, i); err != nil {
@@ -539,7 +551,20 @@ func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 	}
 	m.addMu.Lock()
 	defer m.addMu.Unlock()
+	return m.addBatchLocked(rows, true)
+}
 
+// addBatchLocked is the batch ingest body: decisions, optional WAL append,
+// and the per-shard apply. The caller holds addMu and has validated arity.
+// durable=false is the WAL replay path, which must reproduce the original
+// ingestion exactly without logging it again.
+func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, error) {
+	// An empty batch must return before the WAL append: it would write no
+	// log records, and burning a sequence number with nothing to replay
+	// would leave a permanent hole that stops recovery at that seq.
+	if len(rows) == 0 {
+		return nil, nil
+	}
 	// Phase 1: snapshot decisions. No shard locks are needed: addMu keeps
 	// every writer out, and concurrent Match calls only read.
 	decs := make([]addDecision, len(rows))
@@ -622,14 +647,24 @@ func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 		}
 	}
 
-	baseID := m.nextID
-	m.nextID += len(rows)
-
-	// Phase 3: partition by destination shard and apply concurrently.
+	// Phase 3: partition by destination shard, log, and apply concurrently.
 	perShard := make([][]int, len(m.shards))
 	for i := range decs {
 		perShard[decs[i].shard] = append(perShard[decs[i].shard], i)
 	}
+
+	// Write-ahead: the batch goes to the per-shard logs (and, under fsync
+	// "always", to stable storage) before any shard state changes. A failed
+	// append rejects the batch with the state untouched.
+	if durable && m.wal != nil {
+		if err := m.walAppendBatch(rows, perShard); err != nil {
+			return nil, err
+		}
+	}
+
+	baseID := m.nextID
+	m.nextID += len(rows)
+
 	out := make([]AddResult, len(rows))
 	compactErrs := make([]error, len(m.shards))
 	parallelFor(len(m.shards), len(m.shards), func(s int) {
@@ -805,7 +840,7 @@ func (m *Matcher) Tuples() ([][]int, []float64) {
 	return tuples, confs
 }
 
-// Matcher binary format (little-endian), version 3:
+// Matcher binary format (little-endian), version 4:
 //
 //	magic     [8]byte  "MEMMATC\n"
 //	version   uint32
@@ -815,6 +850,7 @@ func (m *Matcher) Tuples() ([][]int, []float64) {
 //	schema    count + length-prefixed strings
 //	selected  count (-1 = all attributes) + int32 positions
 //	per shard:
+//	  section bytes  int64 (length of the section that follows)
 //	  entIDs      count + count × int64
 //	  entVecs     count × dim × float32, the shard's embedding arena as one block
 //	  tuples      count × { nMembers int32; members []int32 (local rows); maxJoinDist f32 }
@@ -822,14 +858,18 @@ func (m *Matcher) Tuples() ([][]int, []float64) {
 //	  compactions int64
 //	  index       embedded hnsw.Index (its own versioned format)
 //
-// Version 2 held one global section set; version 3 writes one self-contained
-// section per shard, matching the sharded in-memory layout, so a loaded
-// matcher reconstructs the exact shard topology (and its per-shard RNG
-// streams) it was saved with.
+// Version 2 held one global section set; version 3 introduced one
+// self-contained section per shard, matching the sharded in-memory layout,
+// so a loaded matcher reconstructs the exact shard topology (and its
+// per-shard RNG streams) it was saved with. Version 4 prefixes each section
+// with its byte length, which is what lets Save serialize the shards into
+// independent buffers concurrently and LoadMatcher decode them concurrently
+// after a sequential read — the written bytes are identical for every
+// worker count (sections are always emitted in shard order).
 
 var matcherMagic = [8]byte{'M', 'E', 'M', 'M', 'A', 'T', 'C', '\n'}
 
-const matcherFormatVersion = 3
+const matcherFormatVersion = 4
 
 // ErrFormatVersion is wrapped by LoadMatcher when the file's format version
 // is not the one this build writes; callers distinguish "old matcher file,
@@ -851,9 +891,28 @@ const (
 // the pipeline. The pipeline Result is not persisted. Save serializes with
 // AddRecords (the only other mutator), so the written snapshot is consistent
 // across shards; concurrent Match calls keep running.
+//
+// The shard sections are serialized into independent buffers concurrently
+// (one worker per shard) and then written out in shard order, so the bytes
+// are identical for every worker count and large states save at
+// memory-bandwidth speed instead of one shard at a time. The WAL snapshotter
+// writes its checkpoints through the same path.
 func (m *Matcher) Save(w io.Writer) error {
 	m.addMu.Lock()
 	defer m.addMu.Unlock()
+	return m.saveLocked(w)
+}
+
+// saveLocked is Save minus the locking; the caller holds addMu.
+func (m *Matcher) saveLocked(w io.Writer) error {
+	secs := make([]bytes.Buffer, len(m.shards))
+	errs := make([]error, len(m.shards))
+	parallelFor(len(m.shards), len(m.shards), func(s int) {
+		errs[s] = m.shards[s].writeSection(&secs[s])
+	})
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(matcherMagic[:]); err != nil {
@@ -875,32 +934,41 @@ func (m *Matcher) Save(w io.Writer) error {
 			binio.WriteI32(bw, int32(j))
 		}
 	}
-	for _, sh := range m.shards {
-		binio.WriteI32(bw, int32(len(sh.entIDs)))
-		for _, id := range sh.entIDs {
-			binio.WriteI64(bw, int64(id))
-		}
-		binio.WriteF32s(bw, sh.entVecs.Raw())
-		binio.WriteI32(bw, int32(len(sh.tuples)))
-		for _, ts := range sh.tuples {
-			binio.WriteI32(bw, int32(len(ts.members)))
-			for _, p := range ts.members {
-				binio.WriteI32(bw, int32(p))
-			}
-			binio.WriteF32(bw, ts.maxJoinDist)
-		}
-		binio.WriteF32s(bw, sh.centroids.Raw())
-		binio.WriteI64(bw, sh.compactions)
-		if err := bw.Flush(); err != nil {
+	for s := range secs {
+		binio.WriteI64(bw, int64(secs[s].Len()))
+		if _, err := bw.Write(secs[s].Bytes()); err != nil {
 			return fmt.Errorf("multiem: save matcher: %w", err)
-		}
-		// The index writes through its own bufio layer onto w; flushing
-		// ours first keeps the sections in order.
-		if err := sh.index.Save(w); err != nil {
-			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeSection serializes one shard's section — entities, tuples, centroids,
+// and the embedded index — into w. The caller holds addMu (or otherwise
+// excludes writers).
+func (sh *shard) writeSection(w *bytes.Buffer) error {
+	bw := bufio.NewWriter(w)
+	binio.WriteI32(bw, int32(len(sh.entIDs)))
+	for _, id := range sh.entIDs {
+		binio.WriteI64(bw, int64(id))
+	}
+	binio.WriteF32s(bw, sh.entVecs.Raw())
+	binio.WriteI32(bw, int32(len(sh.tuples)))
+	for _, ts := range sh.tuples {
+		binio.WriteI32(bw, int32(len(ts.members)))
+		for _, p := range ts.members {
+			binio.WriteI32(bw, int32(p))
+		}
+		binio.WriteF32(bw, ts.maxJoinDist)
+	}
+	binio.WriteF32s(bw, sh.centroids.Raw())
+	binio.WriteI64(bw, sh.compactions)
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("multiem: save matcher: %w", err)
+	}
+	// The index writes through its own bufio layer onto w; flushing ours
+	// first keeps the bytes in order.
+	return sh.index.Save(w)
 }
 
 // readArena reads rows vectors into the store in bounded chunks, so the
@@ -994,79 +1062,46 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 	}
 
 	m.newShards(nShards)
+
+	// Sections are read off the stream sequentially (their lengths are the
+	// only way to find the boundaries) and decoded concurrently: the decode —
+	// arena rebuilds, member validation, HNSW graph reconstruction — is the
+	// expensive part, and each shard's section is self-contained.
+	secs := make([][]byte, nShards)
+	for s := range secs {
+		secLen := rd.I64()
+		if rd.Err() != nil {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d section: %w", s, rd.Err())
+		}
+		if secLen < 0 {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d: corrupt section length %d", s, secLen)
+		}
+		// Read via a growing buffer, not one make([]byte, secLen): a corrupt
+		// length in a short file must fail at the first missing byte, not
+		// allocate by the header's promise.
+		var buf bytes.Buffer
+		if _, err := io.CopyN(&buf, br, secLen); err != nil {
+			return nil, fmt.Errorf("multiem: load matcher: shard %d section: %w", s, err)
+		}
+		secs[s] = buf.Bytes()
+	}
+
+	maxEntIDs := make([]int, nShards)
+	errs := make([]error, nShards)
+	parallelFor(nShards, nShards, func(s int) {
+		maxEntIDs[s], errs[s] = m.shards[s].readSection(secs[s], m.dim)
+		if errs[s] != nil {
+			errs[s] = fmt.Errorf("multiem: load matcher: shard %d: %w", s, errs[s])
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
 	maxEntID := -1
-	for s, sh := range m.shards {
-		nEnts := rd.I32()
-		if rd.Err() == nil && (nEnts < 0 || nEnts > maxSaneCount) {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d: corrupt entity count %d", s, nEnts)
+	for _, id := range maxEntIDs {
+		if id > maxEntID {
+			maxEntID = id
 		}
-		sh.entIDs = make([]int, nEnts)
-		for i := 0; i < nEnts; i++ {
-			sh.entIDs[i] = int(rd.I64())
-			if rd.Err() != nil {
-				return nil, fmt.Errorf("multiem: load matcher: shard %d entity %d: %w", s, i, rd.Err())
-			}
-			if sh.entIDs[i] > maxEntID {
-				maxEntID = sh.entIDs[i]
-			}
-		}
-		if err := readArena(rd, sh.entVecs, nEnts); err != nil {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d entity vectors: %w", s, err)
-		}
-
-		nTuples := rd.I32()
-		if rd.Err() == nil && (nTuples < 0 || nTuples > maxSaneCount) {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d: corrupt tuple count %d", s, nTuples)
-		}
-		sh.tuples = make([]tupleState, nTuples)
-		for i := 0; i < nTuples; i++ {
-			nMembers := rd.I32()
-			if rd.Err() == nil && (nMembers < 0 || nMembers > nEnts) {
-				return nil, fmt.Errorf("multiem: load matcher: shard %d tuple %d has corrupt member count %d", s, i, nMembers)
-			}
-			members := make([]int, nMembers)
-			for j := range members {
-				p := rd.I32()
-				if rd.Err() == nil && (p < 0 || p >= nEnts) {
-					return nil, fmt.Errorf("multiem: load matcher: shard %d tuple %d references out-of-range entity %d", s, i, p)
-				}
-				members[j] = p
-			}
-			sh.tuples[i] = tupleState{
-				members:     members,
-				maxJoinDist: rd.F32(),
-				minEntID:    minMemberID(members, sh.entIDs),
-			}
-		}
-		if rd.Err() != nil {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d: %w", s, rd.Err())
-		}
-		if err := readArena(rd, sh.centroids, nTuples); err != nil {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d centroids: %w", s, err)
-		}
-		sh.compactions = rd.I64()
-		if rd.Err() != nil {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d: %w", s, rd.Err())
-		}
-
-		ix, err := hnsw.Load(br)
-		if err != nil {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d: %w", s, err)
-		}
-		if ix.Dim() != m.dim {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d index dim %d does not match matcher dim %d", s, ix.Dim(), m.dim)
-		}
-		// Index ids are local tuple indexes; an out-of-range id would make
-		// the first Match panic, so reject it at load time.
-		for _, id := range ix.IDs() {
-			if id < 0 || id >= nTuples {
-				return nil, fmt.Errorf("multiem: load matcher: shard %d index references tuple %d, have %d tuples", s, id, nTuples)
-			}
-		}
-		if ix.Len() < nTuples {
-			return nil, fmt.Errorf("multiem: load matcher: shard %d index has %d centroids for %d tuples", s, ix.Len(), nTuples)
-		}
-		sh.index = ix
 	}
 	// A nextID at or below an existing ID would hand out colliding IDs on
 	// the first AddRecords; reject it like every other corrupt field.
@@ -1074,4 +1109,91 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 		return nil, fmt.Errorf("multiem: load matcher: nextID %d not above max entity ID %d", m.nextID, maxEntID)
 	}
 	return m, nil
+}
+
+// readSection decodes one shard's section bytes into sh, returning the
+// largest entity ID seen (-1 when the shard is empty).
+func (sh *shard) readSection(sec []byte, dim int) (maxEntID int, err error) {
+	br := bufio.NewReader(bytes.NewReader(sec))
+	rd := binio.NewReader(br)
+	maxEntID = -1
+
+	nEnts := rd.I32()
+	if rd.Err() == nil && (nEnts < 0 || nEnts > maxSaneCount) {
+		return -1, fmt.Errorf("corrupt entity count %d", nEnts)
+	}
+	sh.entIDs = make([]int, nEnts)
+	for i := 0; i < nEnts; i++ {
+		sh.entIDs[i] = int(rd.I64())
+		if rd.Err() != nil {
+			return -1, fmt.Errorf("entity %d: %w", i, rd.Err())
+		}
+		if sh.entIDs[i] > maxEntID {
+			maxEntID = sh.entIDs[i]
+		}
+	}
+	if err := readArena(rd, sh.entVecs, nEnts); err != nil {
+		return -1, fmt.Errorf("entity vectors: %w", err)
+	}
+
+	nTuples := rd.I32()
+	if rd.Err() == nil && (nTuples < 0 || nTuples > maxSaneCount) {
+		return -1, fmt.Errorf("corrupt tuple count %d", nTuples)
+	}
+	sh.tuples = make([]tupleState, nTuples)
+	for i := 0; i < nTuples; i++ {
+		nMembers := rd.I32()
+		if rd.Err() == nil && (nMembers < 0 || nMembers > nEnts) {
+			return -1, fmt.Errorf("tuple %d has corrupt member count %d", i, nMembers)
+		}
+		members := make([]int, nMembers)
+		for j := range members {
+			p := rd.I32()
+			if rd.Err() == nil && (p < 0 || p >= nEnts) {
+				return -1, fmt.Errorf("tuple %d references out-of-range entity %d", i, p)
+			}
+			members[j] = p
+		}
+		sh.tuples[i] = tupleState{
+			members:     members,
+			maxJoinDist: rd.F32(),
+			minEntID:    minMemberID(members, sh.entIDs),
+		}
+	}
+	if rd.Err() != nil {
+		return -1, rd.Err()
+	}
+	if err := readArena(rd, sh.centroids, nTuples); err != nil {
+		return -1, fmt.Errorf("centroids: %w", err)
+	}
+	sh.compactions = rd.I64()
+	if rd.Err() != nil {
+		return -1, rd.Err()
+	}
+
+	// hnsw.Load reuses an already-buffered reader, so the index consumes
+	// exactly its own bytes out of br and the trailing-byte check below sees
+	// the true remainder.
+	ix, err := hnsw.Load(br)
+	if err != nil {
+		return -1, err
+	}
+	if ix.Dim() != dim {
+		return -1, fmt.Errorf("index dim %d does not match matcher dim %d", ix.Dim(), dim)
+	}
+	// Index ids are local tuple indexes; an out-of-range id would make the
+	// first Match panic, so reject it at load time.
+	for _, id := range ix.IDs() {
+		if id < 0 || id >= nTuples {
+			return -1, fmt.Errorf("index references tuple %d, have %d tuples", id, nTuples)
+		}
+	}
+	if ix.Len() < nTuples {
+		return -1, fmt.Errorf("index has %d centroids for %d tuples", ix.Len(), nTuples)
+	}
+	sh.index = ix
+	if _, err := br.ReadByte(); err != io.EOF {
+		return -1, fmt.Errorf("section has trailing bytes")
+	}
+	return maxEntID, nil
 }

@@ -1,0 +1,534 @@
+// Package wal implements the durability substrate of the online matcher: a
+// segmented append-only log of opaque records. Each record is framed as
+//
+//	length  uint32 (little-endian, payload bytes)
+//	crc32c  uint32 (Castagnoli, over the payload)
+//	payload length bytes
+//
+// and segments are plain files "seg-<n>.wal" (n strictly increasing) that
+// start with an 8-byte magic and rotate once they exceed a size threshold.
+// Appends go through a buffered writer that is flushed to the OS on every
+// record — so a crashed *process* loses nothing — while fsync (surviving a
+// crashed *machine*) is the caller's policy: Sync on every append, on a
+// timer, or never.
+//
+// A crash can leave a partial record at the tail of the last segment. Replay
+// detects it by the frame (short header, short payload, or CRC mismatch),
+// surfaces it as ErrTornWrite after delivering every whole record, and the
+// next Append truncates the torn bytes so the log is append-clean again.
+// Structural damage anywhere else is not a torn tail and fails replay with a
+// plain corruption error.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SyncPolicy says when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before an append returns: an acknowledged record
+	// survives power loss. Slowest; the fsync dominates small batches.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (the caller runs it): bounded data loss
+	// on power failure, near-SyncOff throughput.
+	SyncInterval
+	// SyncOff never fsyncs: the OS writes pages back on its own schedule.
+	// Survives process crashes, not power loss.
+	SyncOff
+)
+
+// ParsePolicy maps the flag spellings to a policy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ErrTornWrite marks a partial record at the tail of the final segment — the
+// expected remnant of a crash mid-append. Replay returns it (wrapped, with
+// the offset) after delivering every whole record; callers treat it as the
+// clean end of the log.
+var ErrTornWrite = errors.New("wal: torn write at log tail")
+
+// segMagic opens every segment file; the trailing digit is the format
+// version.
+var segMagic = [8]byte{'M', 'E', 'M', 'W', 'A', 'L', '1', '\n'}
+
+const (
+	frameHeaderLen = 8       // length + crc32c
+	maxRecordBytes = 1 << 30 // structural sanity bound on one record
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log. The zero value is usable.
+type Options struct {
+	// SegmentMaxBytes rotates the active segment once appending the next
+	// record would push it past this size; the crossing record opens the
+	// fresh segment (records never span segments). <= 0 means 64 MiB.
+	SegmentMaxBytes int64
+}
+
+const defaultSegmentMaxBytes = 64 << 20
+
+// Stats is a point-in-time size summary of a Log.
+type Stats struct {
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// Bytes is the total size of the live segment files.
+	Bytes int64 `json:"bytes"`
+	// Appends counts records appended since Open.
+	Appends int64 `json:"appends"`
+	// Syncs counts fsyncs since Open.
+	Syncs int64 `json:"syncs"`
+}
+
+// segment is one log file and its bookkeeping.
+type segment struct {
+	index int64
+	path  string
+	bytes int64
+}
+
+// Log is one append-only record log in its own directory. All methods are
+// safe for concurrent use; appends are serialized internally.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	segments []segment // ascending by index; last is the active one
+	f        *os.File  // active segment, nil until the first append
+	w        *bufio.Writer
+	appends  int64
+	syncs    int64
+	closed   bool
+}
+
+// Open attaches to the log directory, creating it if needed. Existing
+// segments are discovered but not validated; the first Append scans the last
+// segment and silently truncates a torn tail (call Replay first to observe
+// the records and the tear).
+func Open(dir string, opt Options) (*Log, error) {
+	if opt.SegmentMaxBytes <= 0 {
+		opt.SegmentMaxBytes = defaultSegmentMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	segs, err := scanSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{dir: dir, opt: opt, segments: segs}, nil
+}
+
+// scanSegments lists and sorts the segment files in dir.
+func scanSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		idx, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: scan: unparseable segment name %q", name)
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: scan: %w", err)
+		}
+		segs = append(segs, segment{index: idx, path: filepath.Join(dir, name), bytes: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+func segPath(dir string, index int64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%016d.wal", index))
+}
+
+// Append frames payload and writes it to the active segment, rotating first
+// when the segment is full. The record is flushed to the OS before Append
+// returns (process-crash safe); call Sync for power-loss durability.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: append: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: append on closed log")
+	}
+	if err := l.ensureWritableLocked(); err != nil {
+		return err
+	}
+	active := &l.segments[len(l.segments)-1]
+	if active.bytes > int64(len(segMagic)) && active.bytes+frameHeaderLen+int64(len(payload)) > l.opt.SegmentMaxBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+		active = &l.segments[len(l.segments)-1]
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	active.bytes += frameHeaderLen + int64(len(payload))
+	l.appends++
+	return nil
+}
+
+// Sync flushes and fsyncs the active segment. A no-op before the first
+// append.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.syncs++
+	return nil
+}
+
+// ensureWritableLocked opens the active segment for appending. On first use
+// with pre-existing segments it scans the last one and truncates a torn tail
+// so new records start at the last whole frame.
+func (l *Log) ensureWritableLocked() error {
+	if l.f != nil {
+		return nil
+	}
+	if len(l.segments) == 0 {
+		return l.createSegmentLocked(1)
+	}
+	seg := &l.segments[len(l.segments)-1]
+	valid, err := validSegmentSize(seg.path)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(seg.path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	if valid < seg.bytes {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		seg.bytes = valid
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	l.f, l.w = f, bufio.NewWriter(f)
+	if seg.bytes < int64(len(segMagic)) {
+		// The tear reached into the segment header itself (or the crash hit
+		// between create and header write): restore the magic so the file is
+		// a valid, empty segment again.
+		if _, err := l.w.Write(segMagic[seg.bytes:]); err != nil {
+			f.Close()
+			l.f, l.w = nil, nil
+			return fmt.Errorf("wal: repair segment header: %w", err)
+		}
+		if err := l.w.Flush(); err != nil {
+			f.Close()
+			l.f, l.w = nil, nil
+			return fmt.Errorf("wal: repair segment header: %w", err)
+		}
+		seg.bytes = int64(len(segMagic))
+	}
+	return nil
+}
+
+// createSegmentLocked starts a fresh active segment with the given index.
+func (l *Log) createSegmentLocked(index int64) error {
+	path := segPath(l.dir, index)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(segMagic[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.segments = append(l.segments, segment{index: index, path: path, bytes: int64(len(segMagic))})
+	l.f, l.w = f, w
+	return nil
+}
+
+// Rotate seals the active segment (flush + fsync + close) and starts the
+// next one. Snapshotters rotate before checkpointing so every record taken
+// into the snapshot lives in a sealed segment that DropSegmentsThrough can
+// delete afterwards. Rotating an untouched log is a no-op.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: rotate on closed log")
+	}
+	if err := l.ensureWritableLocked(); err != nil {
+		return err
+	}
+	if l.segments[len(l.segments)-1].bytes <= int64(len(segMagic)) {
+		return nil // active segment has no records; nothing to seal
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.f, l.w = nil, nil
+	return l.createSegmentLocked(l.segments[len(l.segments)-1].index + 1)
+}
+
+// ActiveSegment reports the index of the segment the next append lands in
+// (the last segment, or the first one a fresh log will create).
+func (l *Log) ActiveSegment() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segments) == 0 {
+		return 1
+	}
+	return l.segments[len(l.segments)-1].index
+}
+
+// DropSegmentsThrough deletes sealed segments with index <= through; the
+// active segment is never deleted. Snapshotters call it once a checkpoint
+// covers those records.
+func (l *Log) DropSegmentsThrough(through int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := l.segments[:0]
+	for i, seg := range l.segments {
+		if seg.index <= through && i < len(l.segments)-1 {
+			if err := os.Remove(seg.path); err != nil {
+				// Keep the bookkeeping consistent with the directory even on
+				// a partial failure.
+				keep = append(keep, l.segments[i:]...)
+				l.segments = keep
+				return fmt.Errorf("wal: drop segment: %w", err)
+			}
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	l.segments = keep
+	return nil
+}
+
+// Stats reports the log's current size counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{Segments: len(l.segments), Appends: l.appends, Syncs: l.syncs}
+	for _, seg := range l.segments {
+		s.Bytes += seg.bytes
+	}
+	return s
+}
+
+// Close flushes, fsyncs, and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w = nil, nil
+	return err
+}
+
+// Replay streams every whole record, oldest first, to fn. It stops early
+// when fn returns an error (returned verbatim). A partial record at the tail
+// of the final segment ends the stream with a wrapped ErrTornWrite — the
+// expected shape after a crash; the torn bytes are truncated away by the
+// next Append. The same damage anywhere else is reported as corruption.
+//
+// Replay reads the segment files directly and may run on a Log that is also
+// being appended to only if the caller provides the exclusion (the matcher
+// replays before it starts appending).
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		if err := replaySegment(seg.path, final, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validSegmentSize scans a segment and returns the byte offset just past the
+// last whole record (0 for a file whose magic is itself partial).
+func validSegmentSize(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: scan segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var mg [8]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return 0, nil // even the magic is partial: nothing valid
+	}
+	if mg != segMagic {
+		return 0, fmt.Errorf("wal: segment %s: bad magic %q", filepath.Base(path), mg[:])
+	}
+	valid := int64(len(segMagic))
+	var hdr [frameHeaderLen]byte
+	buf := make([]byte, 4096)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return valid, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if int64(n) > maxRecordBytes {
+			return valid, nil
+		}
+		if int(n) > len(buf) {
+			buf = make([]byte, n)
+		}
+		if _, err := io.ReadFull(br, buf[:n]); err != nil {
+			return valid, nil
+		}
+		if crc32.Checksum(buf[:n], crcTable) != want {
+			return valid, nil
+		}
+		valid += frameHeaderLen + int64(n)
+	}
+}
+
+// replaySegment streams one segment's records to fn (fn may be nil to only
+// validate). final marks the log's last segment, where a partial record is a
+// torn tail rather than corruption.
+func replaySegment(path string, final bool, fn func([]byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	base := filepath.Base(path)
+
+	tear := func(offset int64, what string) error {
+		if final {
+			return fmt.Errorf("%w: segment %s, offset %d: %s", ErrTornWrite, base, offset, what)
+		}
+		return fmt.Errorf("wal: segment %s: corrupt record at offset %d: %s", base, offset, what)
+	}
+
+	var mg [8]byte
+	switch _, err := io.ReadFull(br, mg[:]); {
+	case err == io.EOF:
+		return nil // empty file: crash between create and header write
+	case err != nil:
+		return tear(0, "partial segment header")
+	case mg != segMagic:
+		return fmt.Errorf("wal: segment %s: bad magic %q", base, mg[:])
+	}
+
+	offset := int64(len(segMagic))
+	var hdr [frameHeaderLen]byte
+	for {
+		switch _, err := io.ReadFull(br, hdr[:]); {
+		case err == io.EOF:
+			return nil // clean end on a record boundary
+		case err != nil:
+			return tear(offset, "partial record header")
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if int64(n) > maxRecordBytes {
+			return tear(offset, fmt.Sprintf("record length %d exceeds limit", n))
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return tear(offset, "partial record payload")
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return tear(offset, "checksum mismatch")
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return err
+			}
+		}
+		offset += frameHeaderLen + int64(n)
+	}
+}

@@ -74,6 +74,18 @@ type (
 	ArityError = multiem.ArityError
 )
 
+// Durability: per-shard write-ahead logging, background snapshots, and
+// crash recovery for the online matcher.
+type (
+	// WALConfig configures the durability directory, fsync policy
+	// ("always", "interval", "off"), and snapshot cadence for
+	// RecoverMatcher.
+	WALConfig = multiem.WALConfig
+	// WALStats reports the attached WAL's size and activity (segments,
+	// bytes, sequence numbers, snapshots).
+	WALStats = multiem.WALStats
+)
+
 // Evaluation.
 type (
 	// Report bundles tuple-level metrics and pair-F1.
@@ -139,6 +151,17 @@ func SaveMatcherFile(m *Matcher, path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// RecoverMatcher opens a durable matcher: the latest snapshot in cfg.Dir is
+// loaded (or, when there is none, base() builds the starting state), every
+// write-ahead-logged batch since is replayed through the normal ingest path
+// — so the recovered state is bit-identical to the matcher that crashed —
+// and subsequent AddRecords are logged under cfg's fsync policy. Call
+// Matcher.CloseWAL on shutdown to flush; Matcher.Snapshot (or
+// cfg.SnapshotInterval) checkpoints state and truncates the logs.
+func RecoverMatcher(cfg WALConfig, opt Options, base func() (*Matcher, error)) (*Matcher, error) {
+	return multiem.RecoverMatcher(cfg, opt, base)
 }
 
 // LoadMatcherFile reads a matcher from a file written by SaveMatcherFile.

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Black-box crash-recovery check for the durable matcher server:
+#
+#   1. build a base matcher index once (deterministic pipeline run)
+#   2. serve it with -wal-dir and ingest batches over HTTP
+#   3. SIGKILL the server mid-flight (no graceful shutdown, no final fsync)
+#   4. restart it on the same -load-index and -wal-dir
+#   5. assert /stats (entities, tuples, matched, singletons) match the
+#      pre-kill state exactly — every acknowledged batch survived
+#
+# Run from the repository root (CI: make crash-recovery).
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "crash-recovery: $*" >&2; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  log "server on $ADDR never became healthy"
+  cat "$WORK/server.log" >&2 || true
+  return 1
+}
+
+# stat_counts extracts the top-level "entities"/"tuples"/"matched"/
+# "singletons" fields from /stats (they appear before per_shard, so first
+# match wins).
+stat_counts() {
+  curl -fsS "$BASE/stats" | tr ',{' '\n\n' |
+    grep -E '^"(entities|tuples|matched|singletons)":' | head -4 | sort
+}
+
+log "building server"
+go build -o "$WORK/server" ./cmd/server
+
+log "building base index"
+"$WORK/server" -dataset Geo -scale 0.2 -seed 7 -shards 4 \
+  -save-index "$WORK/base.bin" -addr "$ADDR" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+kill -9 "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+log "starting durable server (fsync=off: survival must come from the log bytes, not the fsync)"
+"$WORK/server" -load-index "$WORK/base.bin" -wal-dir "$WORK/wal" -fsync off \
+  -addr "$ADDR" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+
+log "ingesting batches"
+for b in $(seq 1 8); do
+  rows=""
+  for r in $(seq 1 32); do
+    id="$((b * 100 + r))"
+    rows+="[\"station $id sector $((id % 7))\",\"$((id % 90)).5\",\"-$((id % 80)).25\"],"
+    # every 4th row duplicates the previous one, so ingest also merges
+    if [ "$((r % 4))" = "0" ]; then
+      rows+="[\"station $id sector $((id % 7))\",\"$((id % 90)).5\",\"-$((id % 80)).25\"],"
+    fi
+  done
+  body="{\"records\":[${rows%,}]}"
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "$BASE/add" >/dev/null
+done
+
+BEFORE="$(stat_counts)"
+log "pre-kill stats: $(echo "$BEFORE" | tr '\n' ' ')"
+if ! curl -fsS "$BASE/stats" | grep -q '"wal":{"enabled":true'; then
+  log "/stats does not report an enabled WAL"
+  exit 1
+fi
+
+log "SIGKILL"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+log "restarting on the same -wal-dir"
+"$WORK/server" -load-index "$WORK/base.bin" -wal-dir "$WORK/wal" -fsync off \
+  -addr "$ADDR" >"$WORK/server2.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+
+AFTER="$(stat_counts)"
+log "post-recovery stats: $(echo "$AFTER" | tr '\n' ' ')"
+
+if [ "$BEFORE" != "$AFTER" ]; then
+  log "FAIL: stats diverged across the crash"
+  log "before: $BEFORE"
+  log "after:  $AFTER"
+  cat "$WORK/server2.log" >&2 || true
+  exit 1
+fi
+
+# The recovered server must keep ingesting (sequence numbers intact).
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"records":[["post crash probe","1.5","-2.5"]]}' "$BASE/add" >/dev/null
+
+log "PASS: recovered state matches pre-kill state"
