@@ -43,20 +43,23 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Tier-1 benches -> BENCH_PR4.json "current" suite. The frozen "baseline"
+# Tier-1 benches -> BENCH_PR5.json "current" suite. The frozen "baseline"
 # suite is kept; when the file has none yet it is seeded from the previous
 # PR's "current" (BENCH_BASE), which is how the measured trajectory chains
-# across PRs. CI uploads the file as an artifact; see README "Performance"
-# for the format.
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_BASE ?= BENCH_PR3.json
+# across PRs. BENCH_REGRESS > 0 turns benchjson into a gate that exits
+# non-zero when any benchmark's ns/op regressed past that percentage vs the
+# baseline (CI runs it informationally, continue-on-error). CI uploads the
+# file as an artifact; see README "Performance" for the format.
+BENCH_JSON ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR4.json
+BENCH_REGRESS ?= 0
 bench-json:
 	@rm -f .bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkTable4_MultiEM' -benchmem -count=1 . >> .bench.out
-	$(GO) test -run='^$$' -bench='BenchmarkMatcher' -benchmem -count=1 . >> .bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkMatcher|BenchmarkSnapshotStall' -benchmem -count=1 . >> .bench.out
 	$(GO) test -run='^$$' -bench='Build1k|Search10k' -benchmem -count=1 ./internal/hnsw >> .bench.out
 	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
 	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
-	$(GO) run ./cmd/benchjson -pr 4 -desc 'Durability subsystem: WAL-on vs WAL-off ingest (MatcherIngestWAL), parallel save/load; baseline is PR 3 current' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -o $(BENCH_JSON) < .bench.out
+	$(GO) run ./cmd/benchjson -pr 5 -desc 'Epoch-based COW shard views: lock-free reads (MatcherReadEpoch), ingest under continuous checkpoints (SnapshotStall p99); baseline is PR 4 current' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
 	@rm -f .bench.out
 	@echo "wrote $(BENCH_JSON)"

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"testing"
 
@@ -561,6 +562,96 @@ func BenchmarkMatcherMixed(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkMatcherReadEpoch measures the lock-free read path: parallel Match
+// (with Stats mixed in every 8th op) against a pinned epoch view on a 4-shard
+// matcher, with no writers. Reads pin one immutable view per op — no
+// per-shard locks — so this is the epoch-serving baseline that concurrent
+// ingest and checkpoints must not degrade.
+func BenchmarkMatcherReadEpoch(b *testing.B) {
+	m, d := benchMatcher(b, 4)
+	byID := d.EntityByID()
+	res := m.Result()
+	queries := make([][]string, 0, 16)
+	for _, tuple := range res.Tuples[:min(len(res.Tuples), 16)] {
+		queries = append(queries, byID[tuple[0]].Values)
+	}
+	var goroutineID int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(atomic.AddInt64(&goroutineID, 1))
+		for i := 0; pb.Next(); i++ {
+			if i%8 == 7 {
+				_ = m.Stats()
+				continue
+			}
+			if _, err := m.Match(queries[(g+i)%len(queries)], 3); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotStall measures what a checkpoint costs ingest: 256-row
+// AddRecords batches run while a goroutine checkpoints the matcher in a
+// tight loop. One op is one batch; p99-ms is the 99th-percentile batch
+// latency with checkpoints continuously in flight. Since Snapshot serializes
+// a pinned view off the ingest lock, the stall bound is the O(shards) log
+// rotation — not the serialization — so p99 should sit near the plain
+// BenchmarkMatcherIngestWAL latency instead of growing with state size.
+func BenchmarkSnapshotStall(b *testing.B) {
+	const batchSize = 256
+	d := mustGen(b, "Geo", 0.3, 11)
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	opt.Shards = 4
+	m, err := repro.RecoverMatcher(
+		repro.WALConfig{Dir: b.TempDir(), Fsync: "off"}, opt,
+		func() (*repro.Matcher, error) { return repro.BuildMatcher(d, opt) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.CloseWAL()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var snaps int64
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.Snapshot(); err != nil {
+				b.Error(err)
+				return
+			}
+			atomic.AddInt64(&snaps, 1)
+		}
+	}()
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := m.AddRecords(benchIngestRows(i, batchSize)); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100] // index < len for every len >= 1
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+	b.ReportMetric(float64(batchSize*b.N)/b.Elapsed().Seconds(), "rows/s")
+	b.ReportMetric(float64(atomic.LoadInt64(&snaps))/b.Elapsed().Seconds(), "snaps/s")
 }
 
 // BenchmarkMatcherShardedMatch measures fan-out Match over 4 shards and

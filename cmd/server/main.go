@@ -7,6 +7,13 @@
 //	POST /add     {"records": [["paris", "2.35", "48.85"]]}
 //	GET  /stats
 //	GET  /healthz
+//	GET  /readyz
+//
+// The listener comes up before the matcher: /healthz reports liveness
+// immediately, while /readyz (and the data endpoints) answer 503 until the
+// pipeline build or WAL recovery completes — so an orchestrator never routes
+// traffic to a replica that is still replaying its log, and restart scripts
+// poll readiness instead of sleeping.
 //
 // With -wal-dir the matcher is durable: every /add batch is appended to
 // per-shard write-ahead logs (fsync policy via -fsync) before it is applied,
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"syscall"
@@ -64,11 +72,32 @@ func main() {
 	opt.Seed = *seed
 	opt.Shards = *shards
 
+	// Bind and serve before the matcher exists: a pipeline build or WAL
+	// replay can take minutes, and during it the process must answer
+	// /healthz (alive) and /readyz (503, starting) instead of refusing
+	// connections. Data endpoints 503 until the matcher is installed.
+	s := newServer(*maxAddBytes)
+	srv := &http.Server{
+		Handler: s.handler(),
+		// Bound slow clients: without these a stalled connection pins a
+		// goroutine forever (slowloris).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("listening on %s (not ready: matcher starting)", *addr)
+
 	base := func() (*repro.Matcher, error) {
 		return loadOrBuild(*loadIndex, *dataDir, *dataset, *scale, *seed, opt)
 	}
 	var matcher *repro.Matcher
-	var err error
 	if *walDir != "" {
 		cfg := repro.WALConfig{
 			Dir:              *walDir,
@@ -95,27 +124,15 @@ func main() {
 		log.Printf("saved matcher to %s", *saveIndex)
 	}
 
+	s.setMatcher(matcher)
 	st := matcher.Stats()
-	log.Printf("serving %d entities in %d tuples (%d matched, %d singletons) across %d shards over attrs %v",
+	log.Printf("ready: serving %d entities in %d tuples (%d matched, %d singletons) across %d shards over attrs %v",
 		st.Entities, st.Tuples, st.Matched, st.Singletons, st.Shards, st.Attrs)
-	log.Printf("listening on %s", *addr)
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: newHandler(matcher, *maxAddBytes),
-		// Bound slow clients: without these a stalled connection pins a
-		// goroutine forever (slowloris).
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
 
 	// Graceful shutdown: drain in-flight requests, then flush and fsync the
 	// WAL, so a deliberate stop never relies on crash recovery.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
 		log.Fatalf("server: %v", err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -21,30 +22,65 @@ const maxBodyBytes = 8 << 20
 const defaultMaxAddBytes = 64 << 20
 
 // server exposes a repro.Matcher over HTTP. All handlers speak JSON. The
-// matcher is hash-sharded: /match fans out across shards under per-shard read
-// locks, and an /add batch locks each shard only while applying that shard's
-// slice — so match traffic keeps flowing on every shard an ingest batch is
-// not currently writing.
+// matcher is hash-sharded with epoch-based copy-on-write reads: /match and
+// /stats pin one immutable view (lock-free, batch-atomic across shards) and
+// /add batches commit with a single view swap — so read traffic never waits
+// on ingest or on a checkpoint in flight.
+//
+// The matcher is installed after startup finishes (building the pipeline, or
+// recovering a WAL can take a while): the listener comes up first so
+// orchestrators can probe /readyz, which serves 503 until recovery
+// completes. /healthz is pure liveness and is 200 as soon as the socket is
+// open; data endpoints answer 503 while the matcher is still loading.
 type server struct {
-	m *repro.Matcher
+	// m is nil until setMatcher installs the recovered matcher; handlers
+	// load it once per request.
+	m atomic.Pointer[repro.Matcher]
 	// maxAddBytes caps /add request bodies; larger payloads get a 413.
 	maxAddBytes int64
 	start       time.Time
 }
 
-// newHandler builds the route table for a matcher. maxAddBytes <= 0 keeps
-// the default /add body cap.
-func newHandler(m *repro.Matcher, maxAddBytes int64) http.Handler {
+// newServer builds a not-yet-ready server. maxAddBytes <= 0 keeps the
+// default /add body cap.
+func newServer(maxAddBytes int64) *server {
 	if maxAddBytes <= 0 {
 		maxAddBytes = defaultMaxAddBytes
 	}
-	s := &server{m: m, maxAddBytes: maxAddBytes, start: time.Now()}
+	return &server{maxAddBytes: maxAddBytes, start: time.Now()}
+}
+
+// setMatcher installs the matcher and flips /readyz to 200. Called once,
+// after loadOrBuild / RecoverMatcher return.
+func (s *server) setMatcher(m *repro.Matcher) { s.m.Store(m) }
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /match", s.handleMatch)
 	mux.HandleFunc("POST /add", s.handleAdd)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// newHandler is the ready-at-construction convenience used by tests: the
+// matcher is installed immediately.
+func newHandler(m *repro.Matcher, maxAddBytes int64) http.Handler {
+	s := newServer(maxAddBytes)
+	s.setMatcher(m)
+	return s.handler()
+}
+
+// matcher returns the installed matcher, or writes a 503 and returns nil
+// while the server is still starting up (building or WAL-recovering).
+func (s *server) matcher(w http.ResponseWriter) *repro.Matcher {
+	m := s.m.Load()
+	if m == nil {
+		writeError(w, http.StatusServiceUnavailable, "matcher is starting up (building or recovering); poll /readyz")
+	}
+	return m
 }
 
 type matchRequest struct {
@@ -72,6 +108,10 @@ type addResponse struct {
 
 type statsResponse struct {
 	repro.MatcherStats
+	// Epoch is the matcher's view epoch: the number of ingest batches
+	// committed since this process installed the matcher. Two /stats
+	// responses with the same epoch describe identical state.
+	Epoch uint64 `json:"epoch"`
 	// PerShard breaks the totals down by shard, so a hot or bloated shard
 	// is visible without attaching a debugger.
 	PerShard []repro.ShardStats `json:"per_shard"`
@@ -89,6 +129,10 @@ type errorResponse struct {
 }
 
 func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	m := s.matcher(w)
+	if m == nil {
+		return
+	}
 	var req matchRequest
 	if !decode(w, r, &req, maxBodyBytes) {
 		return
@@ -97,7 +141,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "values is required")
 		return
 	}
-	cands, err := s.m.Match(req.Values, req.K)
+	cands, err := m.Match(req.Values, req.K)
 	if err != nil {
 		writeMatcherError(w, err)
 		return
@@ -109,6 +153,10 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	m := s.matcher(w)
+	if m == nil {
+		return
+	}
 	var req addRequest
 	if !decode(w, r, &req, s.maxAddBytes) {
 		return
@@ -117,7 +165,7 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "records is required")
 		return
 	}
-	results, err := s.m.AddRecords(req.Records)
+	results, err := m.AddRecords(req.Records)
 	if err != nil {
 		// AddRecords returns results alongside a compaction error: the
 		// records were ingested. A 500 here would invite a retry that
@@ -133,22 +181,43 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// One snapshot for both views, so the totals always equal the
-	// per-shard sums even under concurrent ingest.
-	stats, perShard := s.m.StatsWithShards()
+	m := s.matcher(w)
+	if m == nil {
+		return
+	}
+	// One pinned epoch view for everything — totals, per-shard breakdown,
+	// and the epoch labelling them — so the totals always equal the
+	// per-shard sums and two responses carrying the same epoch describe
+	// identical state, even with batches committing mid-request.
+	stats, perShard, epoch := m.StatsWithShards()
 	resp := statsResponse{
 		MatcherStats:  stats,
+		Epoch:         epoch,
 		PerShard:      perShard,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
-	if ws := s.m.WALStats(); ws.Enabled {
+	if ws := m.WALStats(); ws.Enabled {
 		resp.WAL = &ws
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: 200 as soon as the process accepts
+// connections, even while the matcher is still building or replaying its
+// WAL. Orchestrators that need "can it serve" must use /readyz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 until the matcher is installed — startup
+// can spend minutes in a pipeline build or a WAL replay, during which the
+// process is alive but must not receive traffic.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.m.Load() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // decode parses a JSON request body into dst, writing a 400 on malformed

@@ -66,6 +66,49 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestReadyzGatesTraffic: before the matcher is installed the server must be
+// alive (/healthz 200) but not ready (/readyz 503, data endpoints 503);
+// installing the matcher flips readiness. This is the window a WAL replay or
+// pipeline build occupies at startup.
+func TestReadyzGatesTraffic(t *testing.T) {
+	s := newServer(0)
+	h := s.handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz while starting: %d", w.Code)
+	}
+	if w := get("/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while starting: %d, want 503", w.Code)
+	} else if got := decodeBody[map[string]string](t, w); got["status"] != "starting" {
+		t.Fatalf("readyz body %v", got)
+	}
+	if w := get("/stats"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stats while starting: %d, want 503", w.Code)
+	}
+	if w := postJSON(t, h, "/match", matchRequest{Values: []string{"x", "1", "2"}}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("match while starting: %d, want 503", w.Code)
+	}
+	if w := postJSON(t, h, "/add", addRequest{Records: [][]string{{"x", "1", "2"}}}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("add while starting: %d, want 503", w.Code)
+	}
+
+	m, _ := testMatcher(t)
+	s.setMatcher(m)
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz after install: %d", w.Code)
+	} else if got := decodeBody[map[string]string](t, w); got["status"] != "ready" {
+		t.Fatalf("readyz body %v", got)
+	}
+	if w := get("/stats"); w.Code != http.StatusOK {
+		t.Fatalf("stats after install: %d", w.Code)
+	}
+}
+
 func TestStats(t *testing.T) {
 	m, d := testMatcher(t)
 	h := newHandler(m, 0)
@@ -96,6 +139,18 @@ func TestStats(t *testing.T) {
 	}
 	if ents != got.Entities || tuples != got.Tuples || live != got.Live {
 		t.Fatalf("per-shard sums (%d entities, %d tuples, %d live) disagree with totals %+v", ents, tuples, live, got.MatcherStats)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("fresh matcher reports epoch %d, want 0", got.Epoch)
+	}
+	// Every committed /add batch advances the epoch by exactly one.
+	if w := postJSON(t, h, "/add", addRequest{Records: [][]string{{"epoch probe", "1.0", "2.0"}}}); w.Code != http.StatusOK {
+		t.Fatalf("add: %d: %s", w.Code, w.Body)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if got := decodeBody[statsResponse](t, w); got.Epoch != 1 {
+		t.Fatalf("epoch after one /add batch: %d, want 1", got.Epoch)
 	}
 }
 

@@ -108,6 +108,9 @@ type Index struct {
 	selScratch []vector.Neighbor
 	backCands  []vector.Neighbor
 	backSel    []vector.Neighbor
+
+	// frozen marks a read-only Clone: Add fails on it, Search and Save work.
+	frozen bool
 }
 
 // searchCtx bundles the per-search working set — visited marks, frontier,
@@ -210,6 +213,9 @@ func (ix *Index) growLinks(n int) {
 // Add inserts a vector under an external id. The vector is copied into the
 // index's arena; the caller keeps ownership of its slice.
 func (ix *Index) Add(id int, vec []float32) error {
+	if ix.frozen {
+		return fmt.Errorf("hnsw: Add on a frozen Clone")
+	}
 	if len(vec) != ix.dim {
 		return fmt.Errorf("hnsw: vector has dim %d, index wants %d", len(vec), ix.dim)
 	}
@@ -262,6 +268,40 @@ func (ix *Index) Add(id int, vec []float32) error {
 		ix.entry = cur
 	}
 	return nil
+}
+
+// Clone returns a frozen, read-only copy of the index that concurrent
+// Searches (and Save) may keep using while the original continues to take
+// Adds — the building block for copy-on-write serving views.
+//
+// Only the adjacency arena is deep-copied: it is the one structure Add
+// mutates in place (linkBack rewrites existing nodes' neighbour lists).
+// Everything else — the vector arena, ids, levels, offsets, cached norms — is
+// strictly append-only until the index is discarded wholesale, so the clone
+// shares those backing arrays and pins only their current lengths; later
+// Adds on the original write past every pinned length and never into it.
+// The link-distance cache, RNG, and construction scratch stay behind: they
+// exist only for Add, which a frozen clone refuses.
+func (ix *Index) Clone() *Index {
+	c := &Index{
+		cfg:      ix.cfg,
+		dim:      ix.dim,
+		levelF:   ix.levelF,
+		dist:     ix.dist,
+		vecs:     ix.vecs.Frozen(),
+		ids:      ix.ids[:len(ix.ids):len(ix.ids)],
+		levels:   ix.levels[:len(ix.levels):len(ix.levels)],
+		cosNorms: ix.cosNorms[:len(ix.cosNorms):len(ix.cosNorms)],
+		links:    append([]int32(nil), ix.links...),
+		offs:     ix.offs[:len(ix.offs):len(ix.offs)],
+		entry:    ix.entry,
+		maxL:     ix.maxL,
+		frozen:   true,
+	}
+	// (Re-slicing a nil cosNorms stays nil, so the nil-means-no-cosine
+	// sentinel survives the three-index slice above.)
+	c.searchPool.New = func() any { return newSearchCtx() }
+	return c
 }
 
 // nodeDist is the distance between two stored nodes, through the cached-norm

@@ -102,6 +102,11 @@ type walState struct {
 	// brokenErr fences ingest after a failed append; guarded by addMu.
 	brokenErr error
 
+	// snapMu serializes whole checkpoints (the background loop and explicit
+	// Snapshot calls can overlap now that serialization runs off the ingest
+	// lock); rotation and cleanup of the shard logs must not interleave.
+	snapMu sync.Mutex
+
 	stop      chan struct{}
 	loops     sync.WaitGroup
 	closeOnce sync.Once
@@ -228,6 +233,10 @@ func RecoverMatcher(cfg WALConfig, opt Options, base func() (*Matcher, error)) (
 		closeLogs()
 		return nil, err
 	}
+	// Replay applied batches to writer state only (no per-batch views — no
+	// reader exists yet); publish the recovered state once, at the epoch the
+	// replayed batch count implies, before anything serves or snapshots it.
+	m.publishAll(nextSeq - snapSeq)
 	ws.seq.Store(nextSeq)
 	ws.snapshotSeq.Store(snapSeq)
 	m.wal = ws
@@ -498,17 +507,30 @@ func (m *Matcher) replayWAL(logs []*wal.Log, startSeq uint64, policy wal.SyncPol
 // truncates the logs: state is saved atomically as snapshot-<seq>.bin (the
 // per-shard sections serialized concurrently), log segments the checkpoint
 // covers are deleted, and older snapshots are removed. Recovery cost from
-// here on is the log written since this call. It blocks ingest (but not
-// Match) for the duration of the save.
+// here on is the log written since this call.
+//
+// The ingest lock is held only for the prologue — pinning the epoch view,
+// reading the covered sequence number, and sealing the active log segments:
+// O(shards) work that does not depend on the state size. The serialization
+// itself reads the pinned immutable view while AddRecords keeps committing
+// (to fresh segments, with sequence numbers past the checkpoint), so
+// checkpoint duration no longer bounds ingest stall. The view and the
+// sequence are read under the same lock acquisition, which is what keeps a
+// checkpoint bit-identical to the state at its sequence — the recovery
+// invariant.
 func (m *Matcher) Snapshot() (seq uint64, err error) {
 	ws := m.wal
 	if ws == nil {
 		return 0, errors.New("multiem: Snapshot: no WAL attached")
 	}
+	ws.snapMu.Lock()
+	defer ws.snapMu.Unlock()
+
 	m.addMu.Lock()
+	v := m.state.Load()
 	seq = ws.seq.Load()
-	// Seal the active segments first: every record covered by this
-	// checkpoint then lives in a sealed segment that can be dropped.
+	// Seal the active segments: every record covered by this checkpoint
+	// then lives in a sealed segment that can be dropped.
 	cuts := make([]int64, len(ws.logs))
 	for s, l := range ws.logs {
 		cuts[s] = l.ActiveSegment()
@@ -517,6 +539,8 @@ func (m *Matcher) Snapshot() (seq uint64, err error) {
 			return 0, fmt.Errorf("multiem: snapshot: %w", err)
 		}
 	}
+	m.addMu.Unlock()
+
 	path := snapshotPath(ws.cfg.Dir, seq)
 	tmp := path + ".tmp"
 	err = func() error {
@@ -524,7 +548,7 @@ func (m *Matcher) Snapshot() (seq uint64, err error) {
 		if err != nil {
 			return err
 		}
-		if err := m.saveLocked(f); err != nil {
+		if err := m.saveView(v, f); err != nil {
 			f.Close()
 			return err
 		}
@@ -534,7 +558,6 @@ func (m *Matcher) Snapshot() (seq uint64, err error) {
 		}
 		return f.Close()
 	}()
-	m.addMu.Unlock()
 	if err != nil {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("multiem: snapshot: %w", err)

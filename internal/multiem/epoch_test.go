@@ -1,0 +1,213 @@
+package multiem
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// epochRows builds one batch of n mutually distant records (every token is
+// an id-derived base-36 blob, so rows rarely absorb or chain — they spread
+// across shards as fresh singletons). Whatever a row's fate, it appends
+// exactly one entity to exactly one shard, so a committed batch grows the
+// entity total by exactly n — the invariant the atomicity hammers below
+// assert at every observed epoch.
+func epochRows(batch, n int) [][]string {
+	rows := make([][]string, n)
+	for i := range rows {
+		id := uint64(batch*n + i)
+		tok := func(k uint64) string {
+			return "w" + strconv.FormatUint(id*2654435761+k*40503, 36)
+		}
+		rows[i] = []string{
+			tok(1) + " " + tok(2) + " " + tok(3),
+			tok(4),
+			tok(5),
+		}
+	}
+	return rows
+}
+
+// TestEpochBatchAtomicity is the all-or-nothing property: while batches of
+// exactly K rows commit concurrently (spread across all 4 shards by the
+// routing hash), every read must see a whole number of batches. The epoch
+// parity check is exact: a pinned view at epoch e0+b must hold precisely
+// base+b*K entities summed across its shards — a batch counted on some
+// shards but not others can never satisfy it for any b. Before the epoch
+// views, a batch became visible shard by shard and this hammer would catch
+// readers mid-batch. CI runs this package under -race -cpu=1,4.
+func TestEpochBatchAtomicity(t *testing.T) {
+	m, _ := shardedGeo(t, 4)
+	const batchRows = 8
+	const batches = 30
+
+	base := m.Stats()
+	e0 := m.Epoch()
+
+	stop := make(chan struct{})
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastEpoch uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					// Epoch parity, white-box: a pinned view's entity total
+					// must equal exactly its epoch's worth of whole batches.
+					v := m.state.Load()
+					ents := 0
+					for _, sv := range v.shards {
+						ents += len(sv.entIDs)
+					}
+					if want := base.Entities + int(v.epoch-e0)*batchRows; ents != want {
+						t.Errorf("reader %d: epoch %d view holds %d entities, want %d — partial batch visible", r, v.epoch-e0, ents, want)
+						return
+					}
+					if e := v.epoch; e < lastEpoch {
+						t.Errorf("reader %d: epoch went backwards: %d after %d", r, e, lastEpoch)
+						return
+					} else {
+						lastEpoch = e
+					}
+				case 1:
+					// Public API: one Stats snapshot must also be whole-batch,
+					// and exactly the returned epoch's worth of batches.
+					s, per, e := m.StatsWithShards()
+					if want := base.Entities + int(e-e0)*batchRows; s.Entities != want {
+						t.Errorf("reader %d: StatsWithShards at epoch %d reports %d entities, want %d", r, e-e0, s.Entities, want)
+						return
+					}
+					sum := 0
+					for _, p := range per {
+						sum += p.Entities
+					}
+					if sum != s.Entities {
+						t.Errorf("reader %d: per-shard sum %d != total %d", r, sum, s.Entities)
+						return
+					}
+				default:
+					m.Tuples()
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	for b := 0; b < batches; b++ {
+		if _, err := m.AddRecords(epochRows(b, batchRows)); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got, want := m.Epoch(), e0+batches; got != want {
+		t.Fatalf("epoch advanced to %d after %d batches, want %d", got, batches, want)
+	}
+	s := m.Stats()
+	if s.Entities != base.Entities+batches*batchRows {
+		t.Fatalf("entities %d, want %d", s.Entities, base.Entities+batches*batchRows)
+	}
+	if reads.Load() == 0 {
+		t.Fatal("readers never ran; the hammer is vacuous")
+	}
+}
+
+// TestEpochReadsDuringSnapshot races Match, Stats, and Tuples against
+// continuous checkpoints and concurrent ingest on a durable matcher: reads
+// must stay lock-free (they pin immutable views, so a checkpoint serializing
+// gigabytes could never block them) and keep observing whole batches. This
+// is the regression hammer for the off-lock Snapshot path under -race.
+func TestEpochReadsDuringSnapshot(t *testing.T) {
+	d := smallGeo(t)
+	m, err := RecoverMatcher(WALConfig{Dir: t.TempDir(), Fsync: "off"}, durOpts(4), func() (*Matcher, error) {
+		return BuildMatcher(d, durOpts(4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.CloseWAL()
+
+	const batchRows = 6
+	base := m.Stats()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Snapshotter: checkpoint continuously while ingest and reads run.
+	var snaps atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.Snapshot(); err != nil {
+				t.Errorf("Snapshot: %v", err)
+				return
+			}
+			snaps.Add(1)
+		}
+	}()
+
+	// Readers: whole-batch visibility and live Match results mid-checkpoint.
+	probe := epochRows(0, 1)[0]
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if de := m.Stats().Entities - base.Entities; de%batchRows != 0 {
+					t.Errorf("reader %d: partial batch visible during snapshot: %d extra entities", r, de)
+					return
+				}
+				if i%4 == 0 {
+					if _, err := m.Match(probe, 2); err != nil {
+						t.Errorf("reader %d: Match: %v", r, err)
+						return
+					}
+				} else if i%4 == 2 {
+					m.Tuples()
+				}
+			}
+		}(r)
+	}
+
+	for b := 1; b <= 20; b++ {
+		if _, err := m.AddRecords(epochRows(b, batchRows)); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	// Let at least one checkpoint overlap the post-ingest state.
+	deadline := time.Now().Add(5 * time.Second)
+	for snaps.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if snaps.Load() == 0 {
+		t.Fatal("no checkpoint completed; the hammer is vacuous")
+	}
+	if got, want := m.Stats().Entities, base.Entities+20*batchRows; got != want {
+		t.Fatalf("entities %d after ingest under snapshots, want %d", got, want)
+	}
+}

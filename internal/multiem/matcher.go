@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/binio"
 	"repro/internal/hnsw"
@@ -97,7 +98,7 @@ func (e *ArityError) Error() string {
 
 // tupleState is one tracked tuple: its member entity rows (local to the
 // owning shard) and merge-path provenance. The tuple's unit-norm centroid
-// lives in the shard's centroid arena at the tuple's local index.
+// lives in the shard's centroid version arena at row centroidRow.
 type tupleState struct {
 	members     []int
 	maxJoinDist float32
@@ -106,11 +107,18 @@ type tupleState struct {
 	// creation: later members always carry fresh, larger IDs. Derived
 	// state, recomputed on load rather than persisted.
 	minEntID int
+	// centroidRow is the tuple's current row in the shard's centroid arena.
+	// Centroid refreshes append a new version row instead of overwriting
+	// (published views may still be reading the old one) and move this
+	// pointer; compaction re-densifies the arena. Derived state: Save
+	// canonicalizes centroids into local order, so on load it equals the
+	// tuple's local index.
+	centroidRow int32
 }
 
 // Matcher serves online entity matching over a completed pipeline run. Its
 // state is hash-sharded: each shard owns a disjoint set of tuples together
-// with their member embeddings, centroid arena, HNSW index, and RWMutex.
+// with their member embeddings, centroid version arena, and HNSW index.
 // Tuples are addressed by stable global IDs (shard<<32 | local index).
 //
 // Match answers "which tuple does this record belong to" without re-running
@@ -122,18 +130,26 @@ type tupleState struct {
 // when its centroid distance is within the merge threshold M, or started as
 // a new singleton on the shard the routing hash names.
 //
-// Concurrency: Match, Stats, ShardStats, and Tuples take per-shard read
-// locks, so they run concurrently with each other and only wait on shards
-// mid-write. AddRecords and Save serialize against each other on an ingest
-// lock; AddRecords takes each shard's write lock only while applying that
-// shard's slice of a batch, so a batch becomes visible shard by shard (each
-// shard's slice atomically), not as one cross-shard transaction. The
+// Concurrency: the matcher serves reads through an epoch-stamped,
+// copy-on-write view. Every batch ends with one atomic swap that installs
+// the new views of all shards it touched and bumps the epoch; Match, Stats,
+// ShardStats, and Tuples pin the view once and read it lock-free, so they
+// never block on ingest (or each other) and always observe every batch
+// all-or-nothing across shards — never a half-applied batch. AddRecords is
+// serialized on an ingest lock; Save and Snapshot serialize from a pinned
+// view, off that lock, so checkpoint duration does not stall ingest. The
 // configured Encoder must be safe for concurrent use (the default
 // HashEncoder is).
 type Matcher struct {
-	// addMu serializes the matcher's only mutators, AddRecords and Save;
-	// holding it means no shard state changes underneath.
+	// addMu serializes the matcher's only mutator, AddRecords (and the WAL
+	// replay path); holding it means no writer-side shard state changes
+	// underneath.
 	addMu sync.Mutex
+	// state is the published serving view: the current epoch, the next
+	// entity ID, and one immutable shardView per shard. Writers replace it
+	// wholesale (one pointer swap per batch); readers Load it once and hold
+	// a cross-shard-consistent snapshot for as long as they like.
+	state atomic.Pointer[matcherView]
 	opt   Options
 	// dist is opt.MergeMetric resolved once; AddRecords re-ranks candidates
 	// with it on every query.
@@ -153,6 +169,53 @@ type Matcher struct {
 	// RecoverMatcher before the matcher is shared, never reassigned.
 	wal *walState
 }
+
+// matcherView is one epoch's complete serving state: an immutable shardView
+// per shard plus the matcher-level fields a consistent snapshot needs. A
+// batch commits by installing a new matcherView with the touched shards'
+// fresh views and epoch+1 in one atomic store, which is what makes batch
+// visibility all-or-nothing across shards.
+type matcherView struct {
+	// epoch counts committed batches since this matcher was constructed (it
+	// is serving state, not persistent state: a recovered matcher restarts
+	// it at the replay count).
+	epoch uint64
+	// nextID is the next entity ID, frozen at this epoch — Snapshot must
+	// persist the nextID that matches the views, not a fresher one.
+	nextID int
+	shards []*shardView
+}
+
+// publishAll installs a fresh view of every shard at the given epoch; used
+// at construction and load time, before the matcher is shared.
+func (m *Matcher) publishAll(epoch uint64) {
+	v := &matcherView{epoch: epoch, nextID: m.nextID, shards: make([]*shardView, len(m.shards))}
+	for s, sh := range m.shards {
+		v.shards[s] = sh.view()
+	}
+	m.state.Store(v)
+}
+
+// commit publishes the batch the caller just applied: shards[s] == nil keeps
+// shard s's current view (untouched shards pay nothing), non-nil entries are
+// installed, and the epoch advances by one. The caller holds addMu.
+func (m *Matcher) commit(views []*shardView) {
+	old := m.state.Load()
+	v := &matcherView{epoch: old.epoch + 1, nextID: m.nextID, shards: make([]*shardView, len(old.shards))}
+	copy(v.shards, old.shards)
+	for s, sv := range views {
+		if sv != nil {
+			v.shards[s] = sv
+		}
+	}
+	m.state.Store(v)
+}
+
+// Epoch reports the current view epoch: the number of batches committed
+// since this matcher instance was constructed. Readers that pin a view see
+// every batch up to (and none past) some epoch; two reads returning the same
+// epoch observed identical matcher state.
+func (m *Matcher) Epoch() uint64 { return m.state.Load().epoch }
 
 // resolveShards maps the Shards option to a concrete shard count.
 func resolveShards(opt *Options) int {
@@ -225,11 +288,12 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 			local[i] = sh.entVecs.Append(st.entVecs.At(p))
 			sh.entIDs = append(sh.entIDs, st.ents[p].ID)
 		}
-		sh.centroids.Append(centroid)
+		row := sh.centroids.Append(centroid)
 		sh.tuples = append(sh.tuples, tupleState{
 			members:     local,
 			maxJoinDist: maxJoinDist,
 			minEntID:    minMemberID(local, sh.entIDs),
+			centroidRow: int32(row),
 		})
 	}
 	for ti, pos := range st.posTuples {
@@ -251,6 +315,7 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 			return nil, err
 		}
 	}
+	m.publishAll(0)
 	return m, nil
 }
 
@@ -362,14 +427,13 @@ type shardHits struct {
 }
 
 // searchShard runs one shard's leg of a fan-out query: over-fetch from the
-// shard index, collapse stale duplicates, and re-rank every distinct tuple
-// against its current centroid with the query-bound kernel qf. The caller
-// holds the shard's read lock.
-func (m *Matcher) searchShard(s, fetch, ef int, q []float32, qf vector.QueryDist, hits *shardHits) {
-	sh := m.shards[s]
+// view's index, collapse stale duplicates, and re-rank every distinct tuple
+// against its epoch-current centroid with the query-bound kernel qf. The
+// view is immutable, so no lock is involved.
+func searchShard(v *shardView, s, fetch, ef int, q []float32, qf vector.QueryDist, hits *shardHits) {
 	// Over-fetch: absorbed-into tuples leave stale centroid entries in the
 	// index, and several entries can resolve to one tuple.
-	raw := sh.index.Search(q, fetch, ef)
+	raw := v.index.Search(q, fetch, ef)
 	seen := make(map[int]bool, len(raw))
 	for _, r := range raw {
 		if seen[r.ID] {
@@ -379,11 +443,11 @@ func (m *Matcher) searchShard(s, fetch, ef int, q []float32, qf vector.QueryDist
 		// Distance against the current centroid, not the possibly stale
 		// indexed vector. Clamp: float rounding can push an exact self-match
 		// a hair below zero.
-		d := qf(sh.centroids.At(r.ID))
+		d := qf(v.centroidAt(r.ID))
 		if d < 0 {
 			d = 0
 		}
-		hits.keys = append(hits.keys, m.tupleMinEntityID(s, r.ID))
+		hits.keys = append(hits.keys, v.tuples[r.ID].minEntID)
 		hits.ids = append(hits.ids, globalTupleID(s, r.ID))
 		hits.dists = append(hits.dists, d)
 	}
@@ -394,12 +458,12 @@ func (m *Matcher) searchShard(s, fetch, ef int, q []float32, qf vector.QueryDist
 // clamped to [1, MaxMatchK]. Records with no meaningful text (empty
 // embedding) return no candidates.
 //
-// The query runs against each shard under that shard's read lock, so Match
-// proceeds on all shards an ingest batch is not currently writing. Ties in
-// distance break on the tuple's smallest member entity ID, so the ranking —
-// including the cut at k — is identical for every shard layout. Candidates
-// are materialized per shard after ranking: a concurrent ingest landing in
-// between can make a candidate's membership fresher than its distance.
+// The whole query runs against one pinned epoch view — no locks, and a
+// cross-shard-consistent result even while batches commit concurrently (a
+// candidate's distance, membership, and confidence all come from the same
+// epoch). Ties in distance break on the tuple's smallest member entity ID,
+// so the ranking — including the cut at k — is identical for every shard
+// layout.
 func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 	if err := m.checkArity(values, -1); err != nil {
 		return nil, err
@@ -420,12 +484,10 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 	qf := m.opt.MergeMetric.QueryFunc(q)
 	fetch := 4*k + 8
 	ef := m.shardEf()
-	perShard := make([]shardHits, len(m.shards))
-	parallelFor(len(m.shards), len(m.shards), func(s int) {
-		sh := m.shards[s]
-		sh.mu.RLock()
-		m.searchShard(s, fetch, ef, q, qf, &perShard[s])
-		sh.mu.RUnlock()
+	v := m.state.Load()
+	perShard := make([]shardHits, len(v.shards))
+	parallelFor(len(v.shards), len(v.shards), func(s int) {
+		searchShard(v.shards[s], s, fetch, ef, q, qf, &perShard[s])
 	})
 
 	// Merge the per-shard rankings keyed on the layout-independent tuple
@@ -433,7 +495,7 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 	// at k is deterministic regardless of shard layout. Global tuple IDs
 	// would not do as tie-breaks — they encode the layout.
 	top := vector.NewTopK(k)
-	byKey := make(map[int]int, len(m.shards)*4)
+	byKey := make(map[int]int, len(v.shards)*4)
 	for s := range perShard {
 		h := &perShard[s]
 		for i, key := range h.keys {
@@ -443,28 +505,19 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 	}
 	merged := top.Results()
 
-	// Materialize the survivors shard by shard, one read lock per shard.
+	// Materialize the survivors from the same pinned view.
 	out := make([]Candidate, len(merged))
-	byShard := make([][]int, len(m.shards))
 	for i, r := range merged {
 		gid := byKey[r.ID]
-		out[i] = Candidate{Tuple: gid, Distance: r.Dist, Similarity: 1 - r.Dist}
-		s, _ := splitTupleID(gid)
-		byShard[s] = append(byShard[s], i)
-	}
-	for s, idxs := range byShard {
-		if len(idxs) == 0 {
-			continue
+		s, local := splitTupleID(gid)
+		ts := v.shards[s].tuples[local]
+		out[i] = Candidate{
+			Tuple:      gid,
+			Distance:   r.Dist,
+			Similarity: 1 - r.Dist,
+			EntityIDs:  v.shards[s].memberIDs(ts.members),
+			Confidence: confidenceFrom(ts.maxJoinDist),
 		}
-		sh := m.shards[s]
-		sh.mu.RLock()
-		for _, i := range idxs {
-			_, local := splitTupleID(out[i].Tuple)
-			ts := sh.tuples[local]
-			out[i].EntityIDs = sh.memberIDs(ts.members)
-			out[i].Confidence = confidenceFrom(ts.maxJoinDist)
-		}
-		sh.mu.RUnlock()
 	}
 	return out, nil
 }
@@ -517,10 +570,11 @@ type batchTuple struct {
 //     singletons), and any other row starts a new tuple on the shard the
 //     routing hash of its embedding names.
 //  3. The batch is partitioned by destination shard and applied
-//     concurrently, each shard's slice in row order under its write lock:
-//     members appended, touched centroids recomputed once, refreshed
-//     centroids re-indexed, and the shard compacted if stale index entries
-//     piled up.
+//     concurrently, each shard's slice in row order against the writer-side
+//     state: members appended, touched centroids recomputed once into fresh
+//     version rows, refreshed centroids re-indexed, and the shard compacted
+//     if stale index entries piled up. The batch commits with one atomic
+//     view swap, so concurrent readers see it all-or-nothing across shards.
 //
 // Decisions against pre-existing tuples use the state at the start of the
 // batch, and the chaining pass is independent of the shard layout — so
@@ -557,7 +611,11 @@ func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 // addBatchLocked is the batch ingest body: decisions, optional WAL append,
 // and the per-shard apply. The caller holds addMu and has validated arity.
 // durable=false is the WAL replay path, which must reproduce the original
-// ingestion exactly without logging it again.
+// ingestion exactly without logging it again — and without publishing views:
+// no reader exists until RecoverMatcher returns, so building a full
+// copy-on-write view per replayed batch (tuple-table copy + links-arena
+// clone, immediately superseded by the next batch) would make recovery cost
+// O(batches × live state); the replay caller publishes once at the end.
 func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, error) {
 	// An empty batch must return before the WAL append: it would write no
 	// log records, and burning a sequence number with nothing to replay
@@ -577,7 +635,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 			var bestDist float32
 			for s, sh := range m.shards {
 				for _, r := range sh.index.Search(d.vec, addSearchK, ef) {
-					dd := m.dist(d.vec, sh.centroids.At(r.ID))
+					dd := m.dist(d.vec, sh.centroidAt(r.ID))
 					if bestID >= 0 && dd > bestDist {
 						continue
 					}
@@ -666,6 +724,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 	m.nextID += len(rows)
 
 	out := make([]AddResult, len(rows))
+	views := make([]*shardView, len(m.shards))
 	compactErrs := make([]error, len(m.shards))
 	parallelFor(len(m.shards), len(m.shards), func(s int) {
 		rowIdx := perShard[s]
@@ -673,8 +732,19 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 			return
 		}
 		sh := m.shards[s]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
+
+		// Copy-on-write: published views hold the current tuples slice, so
+		// this batch mutates a fresh copy. Member slices are shared with the
+		// old copy — appends to them only write past every published length,
+		// which no pinned reader can see. Centroid refreshes likewise append
+		// new arena rows instead of overwriting published ones. The replay
+		// path skips the copy along with the views: nothing can be pinned
+		// before RecoverMatcher publishes, so mutating in place is safe.
+		if durable {
+			work := make([]tupleState, len(sh.tuples), len(sh.tuples)+len(rowIdx))
+			copy(work, sh.tuples)
+			sh.tuples = work
+		}
 
 		var touched []int           // pre-existing tuples whose centroid moved
 		var created []int           // tuples created by this batch, in creation order
@@ -705,25 +775,28 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 				created = append(created, local)
 				// The first row has the tuple's smallest entity ID: rows
 				// chain in ascending order and batch IDs are dense.
-				sh.tuples = append(sh.tuples, tupleState{members: []int{pos}, maxJoinDist: newTuples[d.batch].maxJoin, minEntID: baseID + i})
-				sh.centroids.Append(d.vec)
+				row := sh.centroids.Append(d.vec)
+				sh.tuples = append(sh.tuples, tupleState{members: []int{pos}, maxJoinDist: newTuples[d.batch].maxJoin, minEntID: baseID + i, centroidRow: int32(row)})
 				out[i] = AddResult{EntityID: baseID + i, Tuple: globalTupleID(s, local), Absorbed: false}
 				continue
 			}
 			sh.tuples[local].members = append(sh.tuples[local].members, pos)
 			out[i] = AddResult{EntityID: baseID + i, Tuple: globalTupleID(s, local), Absorbed: true, Distance: d.dist}
 		}
-		// Index each batch-created tuple once, with its settled centroid.
+		// Index each batch-created tuple once, with its settled centroid;
+		// its arena row was appended by this batch, so no published view can
+		// read it yet and settling in place is safe.
 		for _, local := range created {
 			if members := sh.tuples[local].members; len(members) > 1 {
-				centroidInto(sh.centroids.At(local), members, sh.entVecs)
+				centroidInto(sh.centroidAt(local), members, sh.entVecs)
 			}
-			sh.index.Add(local, sh.centroids.At(local))
+			sh.index.Add(local, sh.centroidAt(local))
 		}
-		// Recompute each touched centroid once per batch and re-index it
-		// under the same local id; the previous entry goes stale, and Match
-		// and AddRecords re-rank against current centroids, so staleness
-		// only costs recall head-room until compaction — not correctness.
+		// Recompute each touched centroid once per batch into a fresh
+		// version row and re-index it under the same local id; the previous
+		// index entry goes stale, and Match and AddRecords re-rank against
+		// current centroids, so staleness only costs recall head-room until
+		// compaction — not correctness.
 		sort.Ints(touched)
 		last := -1
 		for _, local := range touched {
@@ -731,11 +804,21 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 				continue
 			}
 			last = local
-			centroidInto(sh.centroids.At(local), sh.tuples[local].members, sh.entVecs)
-			sh.index.Add(local, sh.centroids.At(local))
+			row := sh.centroids.AppendZero()
+			centroidInto(sh.centroids.At(row), sh.tuples[local].members, sh.entVecs)
+			sh.tuples[local].centroidRow = int32(row)
+			sh.index.Add(local, sh.centroids.At(row))
 		}
 		compactErrs[s] = sh.maybeCompact(m.shardHNSWConfig(s), m.dim)
+		if durable {
+			views[s] = sh.view()
+		}
 	})
+	// One atomic swap installs every touched shard's new view and advances
+	// the epoch: readers see the whole batch or none of it.
+	if durable {
+		m.commit(views)
+	}
 	if err := errors.Join(compactErrs...); err != nil {
 		return out, fmt.Errorf("multiem: records ingested, but shard compaction failed: %w", err)
 	}
@@ -744,9 +827,9 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 
 // tupleMinEntityID is the smallest member entity ID of a tuple: a
 // layout-independent identity for deterministic tie-breaks (members of
-// distinct tuples are disjoint, so the minimum is unique per tuple). The
-// caller must hold the shard's lock in either mode, or addMu (which
-// excludes every writer).
+// distinct tuples are disjoint, so the minimum is unique per tuple). It
+// reads writer-side state; the caller holds addMu. Readers get the same
+// value from their pinned view's tuples.
 func (m *Matcher) tupleMinEntityID(s, local int) int {
 	return m.shards[s].tuples[local].minEntID
 }
@@ -779,25 +862,28 @@ func meanInto(dst []float32, rows []int, decs []addDecision) {
 
 // Stats reports the matcher's current size, aggregated over shards.
 func (m *Matcher) Stats() MatcherStats {
-	s, _ := m.StatsWithShards()
+	s, _, _ := m.StatsWithShards()
 	return s
 }
 
 // ShardStats reports per-shard sizes, one entry per shard in shard order.
 func (m *Matcher) ShardStats() []ShardStats {
-	_, per := m.StatsWithShards()
+	_, per, _ := m.StatsWithShards()
 	return per
 }
 
-// StatsWithShards reports the aggregate stats and the per-shard breakdown
-// from one snapshot, so the totals always equal the per-shard sums even
-// while a batch is being applied. Shards are read one at a time under their
-// read locks; an in-flight batch may be counted on some shards and not yet
-// on others, but totals and breakdown never disagree with each other.
-func (m *Matcher) StatsWithShards() (MatcherStats, []ShardStats) {
+// StatsWithShards reports the aggregate stats, the per-shard breakdown, and
+// the epoch they describe, all from one pinned view: the totals always equal
+// the per-shard sums, every committed batch is counted on all its shards or
+// none, and nothing blocks — not even a checkpoint in flight. The returned
+// epoch is the one the numbers belong to (reading Epoch separately could
+// straddle a commit), so two calls reporting the same epoch reported
+// identical stats.
+func (m *Matcher) StatsWithShards() (MatcherStats, []ShardStats, uint64) {
+	v := m.state.Load()
 	s := MatcherStats{
 		Dim:    m.dim,
-		Shards: len(m.shards),
+		Shards: len(v.shards),
 	}
 	if m.selected == nil {
 		s.Attrs = append([]string(nil), m.schema...)
@@ -806,11 +892,9 @@ func (m *Matcher) StatsWithShards() (MatcherStats, []ShardStats) {
 			s.Attrs = append(s.Attrs, m.schema[j])
 		}
 	}
-	per := make([]ShardStats, len(m.shards))
-	for id, sh := range m.shards {
-		sh.mu.RLock()
-		per[id] = sh.statsLocked(id)
-		sh.mu.RUnlock()
+	per := make([]ShardStats, len(v.shards))
+	for id, sv := range v.shards {
+		per[id] = sv.stats(id)
 		s.Entities += per[id].Entities
 		s.Tuples += per[id].Tuples
 		s.Matched += per[id].Matched
@@ -818,24 +902,25 @@ func (m *Matcher) StatsWithShards() (MatcherStats, []ShardStats) {
 		s.IndexSize += per[id].IndexSize
 		s.Live += per[id].Live
 	}
-	return s, per
+	return s, per, v.epoch
 }
 
 // Tuples returns every tracked tuple with >= 2 members as sorted entity-ID
 // sets with confidences, in global tuple-ID order (shard, then local index).
+// Like every read, it materializes from one pinned epoch view: lock-free and
+// all-or-nothing with respect to concurrent batches.
 func (m *Matcher) Tuples() ([][]int, []float64) {
 	var tuples [][]int
 	var confs []float64
-	for _, sh := range m.shards {
-		sh.mu.RLock()
-		for _, ts := range sh.tuples {
+	v := m.state.Load()
+	for _, sv := range v.shards {
+		for _, ts := range sv.tuples {
 			if len(ts.members) < 2 {
 				continue
 			}
-			tuples = append(tuples, sh.memberIDs(ts.members))
+			tuples = append(tuples, sv.memberIDs(ts.members))
 			confs = append(confs, confidenceFrom(ts.maxJoinDist))
 		}
-		sh.mu.RUnlock()
 	}
 	return tuples, confs
 }
@@ -888,9 +973,11 @@ const (
 
 // Save writes the matcher's complete state — per-shard embeddings, tuples,
 // and centroid indexes — so LoadMatcher can serve queries without re-running
-// the pipeline. The pipeline Result is not persisted. Save serializes with
-// AddRecords (the only other mutator), so the written snapshot is consistent
-// across shards; concurrent Match calls keep running.
+// the pipeline. The pipeline Result is not persisted. Save pins the current
+// epoch view and serializes from it without taking the ingest lock: the
+// written snapshot is consistent across shards (a view is immutable and
+// batch-atomic by construction) and neither ingest nor other reads wait on
+// the serialization, however large the state.
 //
 // The shard sections are serialized into independent buffers concurrently
 // (one worker per shard) and then written out in shard order, so the bytes
@@ -898,17 +985,17 @@ const (
 // memory-bandwidth speed instead of one shard at a time. The WAL snapshotter
 // writes its checkpoints through the same path.
 func (m *Matcher) Save(w io.Writer) error {
-	m.addMu.Lock()
-	defer m.addMu.Unlock()
-	return m.saveLocked(w)
+	return m.saveView(m.state.Load(), w)
 }
 
-// saveLocked is Save minus the locking; the caller holds addMu.
-func (m *Matcher) saveLocked(w io.Writer) error {
-	secs := make([]bytes.Buffer, len(m.shards))
-	errs := make([]error, len(m.shards))
-	parallelFor(len(m.shards), len(m.shards), func(s int) {
-		errs[s] = m.shards[s].writeSection(&secs[s])
+// saveView serializes one pinned epoch view. It touches no writer state, so
+// it runs concurrently with ingest; the view's frozen nextID keeps the
+// header consistent with the shard sections.
+func (m *Matcher) saveView(v *matcherView, w io.Writer) error {
+	secs := make([]bytes.Buffer, len(v.shards))
+	errs := make([]error, len(v.shards))
+	parallelFor(len(v.shards), len(v.shards), func(s int) {
+		errs[s] = v.shards[s].writeSection(&secs[s])
 	})
 	if err := errors.Join(errs...); err != nil {
 		return err
@@ -920,8 +1007,8 @@ func (m *Matcher) saveLocked(w io.Writer) error {
 	}
 	binio.WriteU32(bw, matcherFormatVersion)
 	binio.WriteI32(bw, int32(m.dim))
-	binio.WriteI64(bw, int64(m.nextID))
-	binio.WriteI32(bw, int32(len(m.shards)))
+	binio.WriteI64(bw, int64(v.nextID))
+	binio.WriteI32(bw, int32(len(v.shards)))
 	binio.WriteI32(bw, int32(len(m.schema)))
 	for _, s := range m.schema {
 		binio.WriteString(bw, s)
@@ -944,31 +1031,35 @@ func (m *Matcher) saveLocked(w io.Writer) error {
 }
 
 // writeSection serializes one shard's section — entities, tuples, centroids,
-// and the embedded index — into w. The caller holds addMu (or otherwise
-// excludes writers).
-func (sh *shard) writeSection(w *bytes.Buffer) error {
+// and the embedded index — into w. Centroids are canonicalized: the version
+// arena is written densely in local-tuple order, so the bytes never depend
+// on how many superseded version rows the in-memory arena happens to carry,
+// and the on-disk layout is exactly the pre-versioning format.
+func (v *shardView) writeSection(w *bytes.Buffer) error {
 	bw := bufio.NewWriter(w)
-	binio.WriteI32(bw, int32(len(sh.entIDs)))
-	for _, id := range sh.entIDs {
+	binio.WriteI32(bw, int32(len(v.entIDs)))
+	for _, id := range v.entIDs {
 		binio.WriteI64(bw, int64(id))
 	}
-	binio.WriteF32s(bw, sh.entVecs.Raw())
-	binio.WriteI32(bw, int32(len(sh.tuples)))
-	for _, ts := range sh.tuples {
+	binio.WriteF32s(bw, v.entVecs.Raw())
+	binio.WriteI32(bw, int32(len(v.tuples)))
+	for _, ts := range v.tuples {
 		binio.WriteI32(bw, int32(len(ts.members)))
 		for _, p := range ts.members {
 			binio.WriteI32(bw, int32(p))
 		}
 		binio.WriteF32(bw, ts.maxJoinDist)
 	}
-	binio.WriteF32s(bw, sh.centroids.Raw())
-	binio.WriteI64(bw, sh.compactions)
+	for local := range v.tuples {
+		binio.WriteF32s(bw, v.centroidAt(local))
+	}
+	binio.WriteI64(bw, v.compactions)
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("multiem: save matcher: %w", err)
 	}
 	// The index writes through its own bufio layer onto w; flushing ours
 	// first keeps the bytes in order.
-	return sh.index.Save(w)
+	return v.index.Save(w)
 }
 
 // readArena reads rows vectors into the store in bounded chunks, so the
@@ -1108,6 +1199,7 @@ func LoadMatcher(r io.Reader, opt Options) (*Matcher, error) {
 	if m.nextID <= maxEntID {
 		return nil, fmt.Errorf("multiem: load matcher: nextID %d not above max entity ID %d", m.nextID, maxEntID)
 	}
+	m.publishAll(0)
 	return m, nil
 }
 
@@ -1158,6 +1250,7 @@ func (sh *shard) readSection(sec []byte, dim int) (maxEntID int, err error) {
 			members:     members,
 			maxJoinDist: rd.F32(),
 			minEntID:    minMemberID(members, sh.entIDs),
+			centroidRow: int32(i), // the on-disk arena is dense in local order
 		}
 	}
 	if rd.Err() != nil {

@@ -12,12 +12,12 @@ import (
 )
 
 // The online matcher is hash-sharded: every tuple lives in exactly one shard,
-// which owns the tuple's member entities (their IDs and embedding rows), the
-// centroid arena row, the HNSW entry, and the RWMutex guarding them. Reads
-// (Match, Stats, Tuples) fan out across shards taking read locks one shard at
-// a time; ingestion partitions a batch across shards and applies each shard's
-// slice under that shard's write lock, so shards ingest concurrently and a
-// write to one shard never blocks reads on the others.
+// which owns the tuple's member entities (their IDs and embedding rows), its
+// centroid, and the HNSW entry. Reads never lock: each shard's serving state
+// is an immutable shardView published through the matcher-level epoch view
+// (see matcherView in matcher.go), and writers — serialized by the matcher's
+// ingest lock — mutate private state and publish fresh views for every shard
+// a batch touched with one atomic swap.
 //
 // A tuple is addressed globally as shard<<tupleShardShift | local. The local
 // part is the tuple's index into its shard's slices, so global IDs are stable
@@ -39,23 +39,77 @@ func splitTupleID(id int) (shard, local int) {
 	return id >> tupleShardShift, id & tupleLocalMask
 }
 
-// shard is one slice of the matcher's online state. All fields are guarded by
-// mu, except that AddRecords' read-only phase may search index and centroids
-// without mu while holding the matcher-level ingest lock (no writer can run).
+// shard is one slice of the matcher's writer-side state, guarded by the
+// matcher's ingest lock (addMu): only AddRecords and recovery replay touch
+// it. Readers never see a shard directly — they read the immutable shardView
+// the writer last published for it.
+//
+// Every structure here is built so a published view stays valid while the
+// writer keeps going: entIDs, entVecs, and centroids are append-only (a
+// recomputed centroid is appended as a new version row, never written over a
+// row a view may be reading — tupleState.centroidRow says which row is
+// current), the tuples slice is copied before a batch mutates it, and the
+// live index is mutable only on the writer side (views get a frozen Clone).
 type shard struct {
-	mu sync.RWMutex
-	// entIDs maps local entity row -> global entity ID.
+	// entIDs maps local entity row -> global entity ID. Append-only.
 	entIDs []int
 	// entVecs holds the embeddings of every entity owned by this shard; a
-	// tuple's members index into it.
+	// tuple's members index into it. Append-only.
 	entVecs *vector.Store
-	tuples  []tupleState
-	// centroids row l is the current centroid of local tuple l.
+	// tuples is the writer's working copy of the tuple table. Batches that
+	// touch the shard replace it with a fresh copy before mutating, so the
+	// slice inside any published view is never written again.
+	tuples []tupleState
+	// centroids is the centroid version arena: row tupleState.centroidRow is
+	// tuple l's current centroid, superseded rows are garbage until the next
+	// compaction rebuilds the arena dense. Append-only between compactions.
 	centroids *vector.Store
-	index     *hnsw.Index
+	// index is the live HNSW index, mutated incrementally per batch; views
+	// receive read-only clones of it.
+	index *hnsw.Index
 	// compactions counts stale-centroid index rebuilds (persisted, so stats
 	// survive a save/load round-trip).
 	compactions int64
+}
+
+// shardView is the immutable serving state of one shard. A view is built by
+// the writer after a batch is fully applied and is never mutated afterwards:
+// the slices and arenas it holds are append-only snapshots (safe to share
+// with the still-growing writer state) and the index is a frozen clone.
+// Match, Stats, Tuples, and Snapshot all read shardViews exclusively, which
+// is why none of them takes a lock.
+type shardView struct {
+	entIDs      []int
+	entVecs     *vector.Store
+	tuples      []tupleState
+	centroids   *vector.Store
+	index       *hnsw.Index
+	compactions int64
+}
+
+// view freezes the shard's current writer state into an immutable shardView.
+// The caller holds addMu and must not mutate the tuples slice afterwards
+// (applyBatch replaces it with a fresh copy before the next mutation).
+func (sh *shard) view() *shardView {
+	return &shardView{
+		entIDs:      sh.entIDs[:len(sh.entIDs):len(sh.entIDs)],
+		entVecs:     sh.entVecs.Frozen(),
+		tuples:      sh.tuples[:len(sh.tuples):len(sh.tuples)],
+		centroids:   sh.centroids.Frozen(),
+		index:       sh.index.Clone(),
+		compactions: sh.compactions,
+	}
+}
+
+// centroidAt resolves tuple local's current centroid row in the writer
+// arena. The caller holds addMu.
+func (sh *shard) centroidAt(local int) []float32 {
+	return sh.centroids.At(int(sh.tuples[local].centroidRow))
+}
+
+// centroidAt resolves tuple local's centroid as of this view's epoch.
+func (v *shardView) centroidAt(local int) []float32 {
+	return v.centroids.At(int(v.tuples[local].centroidRow))
 }
 
 // ShardStats describes one shard's share of the matcher state.
@@ -81,17 +135,17 @@ type ShardStats struct {
 	Compactions int64 `json:"compactions"`
 }
 
-// statsLocked computes the shard's stats; the caller holds mu (either mode).
-func (sh *shard) statsLocked(id int) ShardStats {
+// stats computes the shard's stats from one immutable view.
+func (v *shardView) stats(id int) ShardStats {
 	s := ShardStats{
 		Shard:       id,
-		Entities:    len(sh.entIDs),
-		Tuples:      len(sh.tuples),
-		IndexSize:   sh.index.Len(),
-		Live:        len(sh.tuples),
-		Compactions: sh.compactions,
+		Entities:    len(v.entIDs),
+		Tuples:      len(v.tuples),
+		IndexSize:   v.index.Len(),
+		Live:        len(v.tuples),
+		Compactions: v.compactions,
 	}
-	for _, ts := range sh.tuples {
+	for _, ts := range v.tuples {
 		if len(ts.members) >= 2 {
 			s.Matched++
 		} else {
@@ -101,12 +155,11 @@ func (sh *shard) statsLocked(id int) ShardStats {
 	return s
 }
 
-// memberIDs resolves member rows to sorted global entity IDs; the caller
-// holds mu.
-func (sh *shard) memberIDs(members []int) []int {
+// memberIDs resolves member rows to sorted global entity IDs.
+func (v *shardView) memberIDs(members []int) []int {
 	ids := make([]int, len(members))
 	for i, p := range members {
-		ids[i] = sh.entIDs[p]
+		ids[i] = v.entIDs[p]
 	}
 	sort.Ints(ids)
 	return ids
@@ -114,26 +167,39 @@ func (sh *shard) memberIDs(members []int) []int {
 
 // compactThreshold triggers an index rebuild when stale entries outnumber
 // live centroids by this factor: every absorption leaves the tuple's previous
-// centroid behind in the index, and past 2x the dead entries dominate both
-// memory and search work.
+// centroid behind in the index (and a superseded version row in the centroid
+// arena), and past 2x the dead entries dominate both memory and search work.
 const compactThreshold = 2
 
-// maybeCompact rebuilds the shard's index from current centroids when the
-// stale/live ratio exceeds compactThreshold. The caller holds mu for writing.
+// maybeCompact rebuilds the shard's index — and the centroid version arena —
+// from current centroids when the stale/live ratio exceeds compactThreshold.
+// The caller holds addMu. Both rebuilds allocate fresh structures and swap
+// them in only on success: published views keep the old arena and index, so
+// readers are never affected, and a failed rebuild leaves the shard serving
+// from its previous state.
+//
 // The rebuilt index starts a fresh seeded RNG stream, which is deterministic:
-// the trigger depends only on ingest history, so an original matcher and its
-// save/load twin compact at the same point and rebuild identical graphs.
+// the trigger depends only on ingest history (index entries accrue one per
+// new tuple and one per centroid refresh, regardless of shard layout or any
+// save/load in between), so an original matcher and its save/load twin
+// compact at the same point and rebuild identical graphs.
 func (sh *shard) maybeCompact(cfg hnsw.Config, dim int) error {
 	live := len(sh.tuples)
 	if live == 0 || sh.index.Len()-live <= compactThreshold*live {
 		return nil
 	}
 	ix := hnsw.New(dim, cfg)
+	dense := vector.NewStoreWithCap(dim, live)
 	for l := 0; l < live; l++ {
-		if err := ix.Add(l, sh.centroids.At(l)); err != nil {
+		dense.Append(sh.centroidAt(l))
+		if err := ix.Add(l, dense.At(l)); err != nil {
 			return fmt.Errorf("multiem: shard compaction: %w", err)
 		}
 	}
+	for l := range sh.tuples {
+		sh.tuples[l].centroidRow = int32(l)
+	}
+	sh.centroids = dense
 	sh.index = ix
 	sh.compactions++
 	return nil

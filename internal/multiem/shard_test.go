@@ -345,7 +345,8 @@ func TestShardCompaction(t *testing.T) {
 
 // TestShardedConcurrentHammer races Match + AddRecords + Stats + Tuples
 // across a 4-shard matcher; under -race (CI runs this package with
-// -cpu=1,4) it is the regression test for the per-shard locking.
+// -cpu=1,4) it is the regression test for the lock-free epoch read path
+// against concurrent ingest (see epoch_test.go for the atomicity hammers).
 func TestShardedConcurrentHammer(t *testing.T) {
 	m, d := shardedGeo(t, 4)
 	byID := d.EntityByID()

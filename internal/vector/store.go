@@ -93,3 +93,15 @@ func (s *Store) SetRow(i int, v []float32) {
 // Raw returns the backing arena: Len()*Dim() float32s, row-major. Serializers
 // write and read it as one block; callers must not resize it.
 func (s *Store) Raw() []float32 { return s.data }
+
+// Frozen returns a read-only snapshot of the store: a new Store value whose
+// length is fixed at the current row count but whose backing array is shared
+// with the original. Because rows are append-only — existing rows are never
+// overwritten, and growth either writes past the frozen length or moves to a
+// new backing array — concurrent Appends on the original never touch memory a
+// frozen snapshot can read. This is what lets a published matcher view hand
+// out arena rows without a lock while ingest keeps appending. The caller must
+// not mutate the snapshot.
+func (s *Store) Frozen() *Store {
+	return &Store{dim: s.dim, data: s.data[:len(s.data):len(s.data)]}
+}

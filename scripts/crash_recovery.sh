@@ -24,14 +24,18 @@ trap cleanup EXIT
 
 log() { echo "crash-recovery: $*" >&2; }
 
-wait_healthy() {
-  for _ in $(seq 1 100); do
-    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+# The server binds its listener before recovery starts, so /healthz turns 200
+# while the WAL is still replaying; /readyz stays 503 until the matcher is
+# installed. Polling readiness (instead of sleeping, or trusting liveness) is
+# what makes the post-restart stats comparison race-free.
+wait_ready() {
+  for _ in $(seq 1 150); do
+    if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then
       return 0
     fi
     sleep 0.2
   done
-  log "server on $ADDR never became healthy"
+  log "server on $ADDR never became ready"
   cat "$WORK/server.log" >&2 || true
   return 1
 }
@@ -51,7 +55,7 @@ log "building base index"
 "$WORK/server" -dataset Geo -scale 0.2 -seed 7 -shards 4 \
   -save-index "$WORK/base.bin" -addr "$ADDR" >"$WORK/server.log" 2>&1 &
 SERVER_PID=$!
-wait_healthy
+wait_ready
 kill -9 "$SERVER_PID" 2>/dev/null
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
@@ -60,7 +64,7 @@ log "starting durable server (fsync=off: survival must come from the log bytes, 
 "$WORK/server" -load-index "$WORK/base.bin" -wal-dir "$WORK/wal" -fsync off \
   -addr "$ADDR" >"$WORK/server.log" 2>&1 &
 SERVER_PID=$!
-wait_healthy
+wait_ready
 
 log "ingesting batches"
 for b in $(seq 1 8); do
@@ -93,7 +97,7 @@ log "restarting on the same -wal-dir"
 "$WORK/server" -load-index "$WORK/base.bin" -wal-dir "$WORK/wal" -fsync off \
   -addr "$ADDR" >"$WORK/server2.log" 2>&1 &
 SERVER_PID=$!
-wait_healthy
+wait_ready
 
 AFTER="$(stat_counts)"
 log "post-recovery stats: $(echo "$AFTER" | tr '\n' ' ')"
