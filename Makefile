@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race race-matcher crash-recovery bench bench-smoke bench-json
+.PHONY: all build vet fmt test race race-matcher crash-recovery bench bench-smoke bench-json load-smoke load-sweep
 
 all: build vet test
 
@@ -35,6 +35,19 @@ race-matcher:
 crash-recovery:
 	./scripts/crash_recovery.sh
 
+# Open-loop load smoke: ~5s of mixed /match + /add traffic at a fixed
+# arrival rate against a live server; fails on any error or empty
+# histogram. Leaves loadgen-smoke.json (CI uploads it). See
+# docs/BENCHMARKING.md.
+load-smoke:
+	./scripts/load_smoke.sh
+
+# Parameter sweep (CI-smoke sized by default): shards x fsync grid, one CSV
+# row per configuration point -> sweep.csv. Widen via SWEEP_ARGS/DURATION
+# env vars; see docs/BENCHMARKING.md.
+load-sweep:
+	./scripts/load_sweep.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -43,15 +56,15 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Tier-1 benches -> BENCH_PR5.json "current" suite. The frozen "baseline"
+# Tier-1 benches -> BENCH_PR6.json "current" suite. The frozen "baseline"
 # suite is kept; when the file has none yet it is seeded from the previous
 # PR's "current" (BENCH_BASE), which is how the measured trajectory chains
 # across PRs. BENCH_REGRESS > 0 turns benchjson into a gate that exits
 # non-zero when any benchmark's ns/op regressed past that percentage vs the
 # baseline (CI runs it informationally, continue-on-error). CI uploads the
-# file as an artifact; see README "Performance" for the format.
-BENCH_JSON ?= BENCH_PR5.json
-BENCH_BASE ?= BENCH_PR4.json
+# file as an artifact; see docs/BENCHMARKING.md for the format.
+BENCH_JSON ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR5.json
 BENCH_REGRESS ?= 0
 bench-json:
 	@rm -f .bench.out
@@ -60,6 +73,6 @@ bench-json:
 	$(GO) test -run='^$$' -bench='Build1k|Search10k' -benchmem -count=1 ./internal/hnsw >> .bench.out
 	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
 	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
-	$(GO) run ./cmd/benchjson -pr 5 -desc 'Epoch-based COW shard views: lock-free reads (MatcherReadEpoch), ingest under continuous checkpoints (SnapshotStall p99); baseline is PR 4 current' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
+	$(GO) run ./cmd/benchjson -pr 6 -desc 'Open-loop load harness + /stats endpoint latency summaries; matcher path unchanged, so current should track the PR 5 baseline' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
 	@rm -f .bench.out
 	@echo "wrote $(BENCH_JSON)"

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// sweepFlags collects repeated -sweep arguments in order.
+type sweepFlags []axis
+
+// axis is one sweep dimension: a parameter name and the values to try.
+type axis struct {
+	name   string
+	values []string
+}
+
+// serverAxes configure the server (restart per point); clientAxes configure
+// the driver.
+var (
+	serverAxes = map[string]bool{"shards": true, "fsync": true, "efsearch": true}
+	clientAxes = map[string]bool{"rate": true, "batch": true, "zipf": true}
+)
+
+func (s *sweepFlags) String() string {
+	parts := make([]string, len(*s))
+	for i, a := range *s {
+		parts[i] = a.name + "=" + strings.Join(a.values, ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set parses one -sweep occurrence: name=v1,v2,... where any integer value
+// may be a doubling range "a..b".
+func (s *sweepFlags) Set(v string) error {
+	name, vals, ok := strings.Cut(v, "=")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if !ok || name == "" || vals == "" {
+		return fmt.Errorf("want name=v1,v2,... got %q", v)
+	}
+	if !serverAxes[name] && !clientAxes[name] {
+		return fmt.Errorf("unknown sweep axis %q (server: shards, fsync, efsearch; client: rate, batch, zipf)", name)
+	}
+	for _, a := range *s {
+		if a.name == name {
+			return fmt.Errorf("sweep axis %q given twice", name)
+		}
+	}
+	var expanded []string
+	for _, val := range strings.Split(vals, ",") {
+		val = strings.TrimSpace(val)
+		if lo, hi, ok := cutRange(val); ok {
+			if lo < 1 || hi < lo {
+				return fmt.Errorf("bad range %q in axis %s", val, name)
+			}
+			// Doubling steps: 32..256 = 32, 64, 128, 256. The upper bound
+			// is always included so the stated range is actually covered.
+			for x := lo; x < hi; x *= 2 {
+				expanded = append(expanded, strconv.Itoa(x))
+			}
+			expanded = append(expanded, strconv.Itoa(hi))
+		} else if val != "" {
+			expanded = append(expanded, val)
+		}
+	}
+	if len(expanded) == 0 {
+		return fmt.Errorf("axis %s has no values", name)
+	}
+	*s = append(*s, axis{name: name, values: expanded})
+	return nil
+}
+
+// cutRange parses "a..b" into integers.
+func cutRange(s string) (lo, hi int, ok bool) {
+	a, b, found := strings.Cut(s, "..")
+	if !found {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.Atoi(a)
+	hi, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// point is one configuration in the cross product, in axis order.
+type point map[string]string
+
+// crossProduct enumerates every combination of axis values, first axis
+// slowest, so the CSV reads in the order the flags were given.
+func crossProduct(axes []axis) []point {
+	points := []point{{}}
+	for _, a := range axes {
+		var next []point
+		for _, p := range points {
+			for _, v := range a.values {
+				np := point{}
+				for k, val := range p {
+					np[k] = val
+				}
+				np[a.name] = v
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	return points
+}
+
+// runSweep drives the full sweep: for each configuration point it starts a
+// fresh server (own WAL dir when fsync is swept), waits for /readyz, runs
+// one open-loop trial, scrapes /stats, appends a CSV row, and stops the
+// server. A point whose server fails to come up fails the sweep — a silent
+// hole in the grid would read as "covered" later.
+func runSweep(serverBin string, baseArgs []string, axes sweepFlags, base trialParams, csvPath string) error {
+	points := crossProduct(axes)
+	fmt.Printf("sweep: %d configuration points, %v trial + %v warmup each\n",
+		len(points), base.duration, base.warmup)
+
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	axisNames := make([]string, len(axes))
+	for i, a := range axes {
+		axisNames[i] = a.name
+	}
+	header := append(append([]string{}, axisNames...),
+		"target_rate", "achieved_rate", "scheduled", "errors", "dropped",
+		"match_p50_ms", "match_p90_ms", "match_p99_ms", "match_p999_ms",
+		"add_p50_ms", "add_p90_ms", "add_p99_ms", "add_p999_ms",
+		"server_match_p99_ms", "server_add_p99_ms",
+		"wal_bytes", "wal_appends", "wal_syncs", "snapshots",
+		"epoch_advances", "epoch_per_sec")
+	fmt.Fprintln(f, strings.Join(header, ","))
+
+	for i, p := range points {
+		label := pointLabel(axisNames, p)
+		fmt.Printf("[%d/%d] %s\n", i+1, len(points), label)
+		row, err := runPoint(serverBin, baseArgs, axisNames, p, base)
+		if err != nil {
+			return fmt.Errorf("point %s: %w", label, err)
+		}
+		fmt.Fprintln(f, strings.Join(row, ","))
+	}
+	fmt.Printf("wrote %s (%d rows)\n", csvPath, len(points))
+	return nil
+}
+
+func pointLabel(axisNames []string, p point) string {
+	parts := make([]string, len(axisNames))
+	for i, n := range axisNames {
+		parts[i] = n + "=" + p[n]
+	}
+	return strings.Join(parts, " ")
+}
+
+// runPoint runs one configuration: server lifecycle + trial + CSV row.
+func runPoint(serverBin string, baseArgs, axisNames []string, p point, base trialParams) ([]string, error) {
+	params := base
+	args := append([]string{}, baseArgs...)
+
+	for name, v := range p {
+		switch name {
+		case "shards", "efsearch":
+			args = append(args, "-"+name, v)
+		case "fsync":
+			walDir, err := os.MkdirTemp("", "loadgen-wal-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(walDir)
+			args = append(args, "-fsync", v, "-wal-dir", walDir)
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad rate %q: %w", v, err)
+			}
+			params.rate = f
+		case "zipf":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad zipf %q: %w", v, err)
+			}
+			params.zipf = f
+		case "batch":
+			params.batch = v
+		}
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	args = append(args, "-addr", addr)
+	baseURL := "http://" + addr
+
+	cmd := exec.Command(serverBin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", serverBin, err)
+	}
+	exited := make(chan struct{})
+	go func() { cmd.Wait(); close(exited) }()
+	defer stopServer(cmd, exited)
+
+	if err := waitReady(baseURL, exited, 3*time.Minute); err != nil {
+		return nil, err
+	}
+	out, err := runTrial(baseURL, params)
+	if err != nil {
+		return nil, err
+	}
+	return csvRow(axisNames, p, params, out), nil
+}
+
+// csvRow flattens one trial into the sweep CSV schema.
+func csvRow(axisNames []string, p point, params trialParams, out *output) []string {
+	r := out.Report
+	row := make([]string, 0, len(axisNames)+21)
+	for _, n := range axisNames {
+		row = append(row, p[n])
+	}
+	var dropped int64
+	for _, ep := range r.Endpoints {
+		dropped += ep.Dropped
+	}
+	num := func(f float64) string { return strconv.FormatFloat(f, 'f', 3, 64) }
+	row = append(row,
+		num(params.rate), num(r.AchievedRate),
+		strconv.FormatInt(r.Scheduled, 10),
+		strconv.FormatInt(r.Errors(), 10),
+		strconv.FormatInt(dropped, 10))
+	for _, name := range []string{"match", "add"} {
+		ep := r.Endpoints[name]
+		row = append(row, num(ep.P50Ms), num(ep.P90Ms), num(ep.P99Ms), num(ep.P999Ms))
+	}
+	for _, name := range []string{"match", "add"} {
+		v := 0.0
+		if out.ServerAfter != nil {
+			if es, ok := out.ServerAfter.Endpoints[name]; ok {
+				v = es.P99Ms
+			}
+		}
+		row = append(row, num(v))
+	}
+	var walBytes, walAppends, walSyncs, snaps int64
+	if out.ServerAfter != nil && out.ServerAfter.WAL != nil {
+		walBytes = out.ServerAfter.WAL.Bytes
+		walAppends = out.ServerAfter.WAL.Appends
+		walSyncs = out.ServerAfter.WAL.Syncs
+		snaps = out.ServerAfter.WAL.Snapshots
+	}
+	var dEpoch uint64
+	if out.ServerAfter != nil && out.ServerBefore != nil {
+		dEpoch = out.ServerAfter.Epoch - out.ServerBefore.Epoch
+	}
+	row = append(row,
+		strconv.FormatInt(walBytes, 10),
+		strconv.FormatInt(walAppends, 10),
+		strconv.FormatInt(walSyncs, 10),
+		strconv.FormatInt(snaps, 10),
+		strconv.FormatUint(dEpoch, 10),
+		num(float64(dEpoch)/params.duration.Seconds()))
+	return row
+}
+
+// freeAddr reserves a loopback port by binding and releasing it.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// waitReady polls /readyz until the server answers 200, the server process
+// exits, or the timeout passes. Startup covers a pipeline build or WAL
+// replay, hence the generous default.
+func waitReady(baseURL string, exited <-chan struct{}, timeout time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		select {
+		case <-exited:
+			return fmt.Errorf("server exited during startup")
+		default:
+		}
+		resp, err := client.Get(baseURL + "/readyz")
+		if err == nil {
+			ready := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ready {
+				return nil
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready after %v", timeout)
+}
+
+// stopServer drains the server: SIGTERM (graceful shutdown flushes the
+// WAL), escalating to SIGKILL after a grace period.
+func stopServer(cmd *exec.Cmd, exited <-chan struct{}) {
+	if cmd.Process == nil {
+		return
+	}
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-exited:
+	case <-time.After(20 * time.Second):
+		_ = cmd.Process.Kill()
+		<-exited
+	}
+}

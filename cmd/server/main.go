@@ -56,6 +56,7 @@ func main() {
 		m           = flag.Float64("m", 0.5, "merge distance threshold (cosine)")
 		parallel    = flag.Bool("parallel", true, "build with MultiEM(parallel)")
 		shards      = flag.Int("shards", 0, "matcher hash shards (0 = GOMAXPROCS; ignored with -load-index)")
+		efSearch    = flag.Int("efsearch", 0, "HNSW query beam width for /match (0 = backend default; applies to built and loaded matchers)")
 		maxAddBytes = flag.Int64("max-add-bytes", defaultMaxAddBytes, "max /add request body size in bytes (larger batches get 413)")
 
 		walDir        = flag.String("wal-dir", "", "durability directory: write-ahead logs + snapshots; empty disables durability")
@@ -71,6 +72,7 @@ func main() {
 	opt.Parallel = *parallel
 	opt.Seed = *seed
 	opt.Shards = *shards
+	opt.EfSearch = *efSearch
 
 	// Bind and serve before the matcher exists: a pipeline build or WAL
 	// replay can take minutes, and during it the process must answer

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/hist"
 )
 
 // maxBodyBytes bounds single-record request bodies (match payloads).
@@ -39,6 +40,20 @@ type server struct {
 	// maxAddBytes caps /add request bodies; larger payloads get a 413.
 	maxAddBytes int64
 	start       time.Time
+	// metrics holds per-data-endpoint request counters and latency
+	// histograms ("match", "add"), reported under /stats "endpoints" so an
+	// open-loop load driver can reconcile its client-side percentiles
+	// against the server's own view (the gap between them is network +
+	// client-side queueing).
+	metrics map[string]*endpointMetrics
+}
+
+// endpointMetrics accumulates one route's server-side request counts and
+// handler latency since process start. All fields are concurrency-safe.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+	lat      hist.Histogram
 }
 
 // newServer builds a not-yet-ready server. maxAddBytes <= 0 keeps the
@@ -47,22 +62,65 @@ func newServer(maxAddBytes int64) *server {
 	if maxAddBytes <= 0 {
 		maxAddBytes = defaultMaxAddBytes
 	}
-	return &server{maxAddBytes: maxAddBytes, start: time.Now()}
+	return &server{
+		maxAddBytes: maxAddBytes,
+		start:       time.Now(),
+		metrics:     map[string]*endpointMetrics{"match": {}, "add": {}},
+	}
 }
 
 // setMatcher installs the matcher and flips /readyz to 200. Called once,
 // after loadOrBuild / RecoverMatcher return.
 func (s *server) setMatcher(m *repro.Matcher) { s.m.Store(m) }
 
-// handler builds the route table.
+// handler builds the route table. The data endpoints are wrapped with
+// latency/count instrumentation; the health and stats probes are not (a
+// metrics scrape must not perturb the numbers it reads).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /match", s.handleMatch)
-	mux.HandleFunc("POST /add", s.handleAdd)
+	mux.HandleFunc("POST /match", s.instrument("match", s.handleMatch))
+	mux.HandleFunc("POST /add", s.instrument("add", s.handleAdd))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// instrument wraps a data-endpoint handler to record request count, error
+// count, and handler latency (entry to last byte written) into the named
+// endpoint's metrics.
+func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.metrics[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		m.requests.Add(1)
+		if sw.status >= 400 {
+			m.errors.Add(1)
+		}
+		m.lat.Record(time.Since(start))
+	}
+}
+
+// statusWriter captures the response status for the error counter. A
+// handler that writes a body without an explicit WriteHeader gets net/http's
+// implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // newHandler is the ready-at-construction convenience used by tests: the
@@ -117,8 +175,46 @@ type statsResponse struct {
 	PerShard []repro.ShardStats `json:"per_shard"`
 	// WAL reports the durability subsystem — log segment counts and bytes,
 	// sequence numbers, snapshots — when the server runs with -wal-dir.
-	WAL           *repro.WALStats `json:"wal,omitempty"`
-	UptimeSeconds float64         `json:"uptime_seconds"`
+	WAL *repro.WALStats `json:"wal,omitempty"`
+	// Endpoints holds per-data-endpoint request counters and handler
+	// latency percentiles since process start, keyed "match" and "add" —
+	// the server-side view an open-loop load driver reconciles its
+	// client-side histograms against.
+	Endpoints map[string]endpointSummary `json:"endpoints"`
+	// UptimeSeconds is wall time since the listener came up.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// endpointSummary is one route's /stats latency entry.
+type endpointSummary struct {
+	// Requests and Errors count handled requests and >= 400 responses
+	// since process start.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Handler latency percentiles (ms): request entry to last byte
+	// written, excluding kernel/network time.
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// summary freezes an endpoint's metrics for /stats.
+func (m *endpointMetrics) summary() endpointSummary {
+	s := m.lat.Snapshot()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return endpointSummary{
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		P50Ms:    ms(s.Quantile(0.50)),
+		P90Ms:    ms(s.Quantile(0.90)),
+		P99Ms:    ms(s.Quantile(0.99)),
+		P999Ms:   ms(s.Quantile(0.999)),
+		MaxMs:    ms(time.Duration(s.Max)),
+		MeanMs:   ms(s.Mean()),
+	}
 }
 
 type errorResponse struct {
@@ -194,7 +290,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MatcherStats:  stats,
 		Epoch:         epoch,
 		PerShard:      perShard,
+		Endpoints:     map[string]endpointSummary{},
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	for name, m := range s.metrics {
+		resp.Endpoints[name] = m.summary()
 	}
 	if ws := m.WALStats(); ws.Enabled {
 		resp.WAL = &ws

@@ -1,0 +1,102 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stream generates an endless sequence of records from one benchmark
+// family's template, for driving load against a server built on the same
+// family (the schema arity matches, so /match and /add accept the records).
+//
+// Every record belongs to a synthetic entity key drawn from a fixed
+// universe; the same key always yields the same underlying clean record
+// (derived from a per-key seed), corrupted per call the way the batch
+// generator corrupts per source. Repeats of a hot key therefore look like
+// the same real-world entity arriving from different feeds — they exercise
+// the matcher's absorption path — while first-seen keys become new
+// singleton tuples. Key selection is optionally Zipf-skewed, so a hot-key
+// workload concentrates ingest on a few tuples (and, through routing, a few
+// shards) the way production traffic does.
+type Stream struct {
+	spec     Spec
+	cor      Corruptor
+	rng      *rand.Rand
+	zipf     *rand.Zipf // nil = uniform key selection
+	universe uint64
+	seed     int64
+}
+
+// NewStream builds a record stream over the named benchmark family.
+// universe is the entity key space size (how many distinct identities the
+// stream can emit). skew selects the key distribution: 0 is uniform, values
+// > 1 are the Zipf s parameter (larger = more skew; 1.1 is mild, 2 is
+// brutal). seed fixes the whole stream.
+func NewStream(name string, universe int, skew float64, seed int64) (*Stream, error) {
+	spec, ok := Specs()[name]
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+	if universe <= 0 {
+		return nil, fmt.Errorf("datagen: universe must be positive, got %d", universe)
+	}
+	if skew != 0 && skew <= 1 {
+		return nil, fmt.Errorf("datagen: skew must be 0 (uniform) or > 1 (Zipf s), got %v", skew)
+	}
+	s := &Stream{
+		spec:     spec,
+		cor:      Corruptor{Severity: spec.Severity},
+		rng:      rand.New(rand.NewSource(seed)),
+		universe: uint64(universe),
+		seed:     seed,
+	}
+	if skew != 0 {
+		s.zipf = rand.NewZipf(s.rng, skew, 1, s.universe-1)
+	}
+	return s, nil
+}
+
+// Attrs returns the family's schema (the record arity every emitted record
+// has).
+func (s *Stream) Attrs() []string { return s.spec.Attrs }
+
+// Record emits one record: a per-source corrupted copy of the clean record
+// of a (possibly skewed) random entity key.
+func (s *Stream) Record() []string {
+	key := s.nextKey()
+	clean := s.clean(key)
+	src := s.rng.Intn(s.spec.Sources)
+	return makerFor(s.spec.Domain).corrupt(s.cor, s.rng, clean, src)
+}
+
+// Batch emits n records (independent key draws).
+func (s *Stream) Batch(n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = s.Record()
+	}
+	return out
+}
+
+// nextKey draws an entity key: Zipf rank when skewed, uniform otherwise.
+func (s *Stream) nextKey() uint64 {
+	if s.zipf != nil {
+		return s.zipf.Uint64()
+	}
+	return uint64(s.rng.Int63n(int64(s.universe)))
+}
+
+// clean materializes entity key's canonical record. The per-key generator is
+// re-seeded from (stream seed, key), so a key's identity is stable across
+// calls and across Stream instances with the same seed — which is what lets
+// separate loadgen processes aim load at the same hot entities.
+func (s *Stream) clean(key uint64) []string {
+	// SplitMix64-style scramble keeps per-key streams decorrelated even
+	// though keys are small consecutive integers.
+	z := uint64(s.seed)*0x9e3779b97f4a7c15 + (key+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0x94d049bb133111eb
+	z ^= z >> 27
+	rng := rand.New(rand.NewSource(int64(z)))
+	return makerFor(s.spec.Domain).clean(rng)
+}

@@ -1,0 +1,93 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamArity: every emitted record matches the family schema width,
+// for every family.
+func TestStreamArity(t *testing.T) {
+	for name, spec := range Specs() {
+		s, err := NewStream(name, 1000, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			rec := s.Record()
+			if len(rec) != len(spec.Attrs) {
+				t.Fatalf("%s: record width %d, want %d", name, len(rec), len(spec.Attrs))
+			}
+		}
+		if b := s.Batch(7); len(b) != 7 {
+			t.Fatalf("%s: batch size %d", name, len(b))
+		}
+	}
+}
+
+// TestStreamKeyStability: the same key yields the same clean record within a
+// stream and across streams sharing a seed, and different keys diverge.
+func TestStreamKeyStability(t *testing.T) {
+	a, _ := NewStream("Geo", 100, 0, 42)
+	b, _ := NewStream("Geo", 100, 0, 42)
+	c, _ := NewStream("Geo", 100, 0, 43)
+	for key := uint64(0); key < 20; key++ {
+		ra := strings.Join(a.clean(key), "|")
+		if rb := strings.Join(b.clean(key), "|"); ra != rb {
+			t.Fatalf("key %d: same seed diverged: %q vs %q", key, ra, rb)
+		}
+		if rc := strings.Join(c.clean(key), "|"); ra == rc {
+			t.Errorf("key %d: different seeds collided: %q", key, ra)
+		}
+		if key > 0 {
+			if prev := strings.Join(a.clean(key-1), "|"); prev == ra {
+				t.Errorf("keys %d and %d collided: %q", key-1, key, ra)
+			}
+		}
+	}
+}
+
+// TestStreamZipfSkew: with heavy skew, a small set of keys dominates; with
+// uniform selection, it does not.
+func TestStreamZipfSkew(t *testing.T) {
+	const draws, universe = 20000, 10000
+	top := func(skew float64) float64 {
+		s, err := NewStream("Geo", universe, skew, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[uint64]int{}
+		for i := 0; i < draws; i++ {
+			counts[s.nextKey()]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / draws
+	}
+	if skewed := top(1.5); skewed < 0.05 {
+		t.Errorf("zipf 1.5: hottest key only %.3f of draws, expected heavy skew", skewed)
+	}
+	if uniform := top(0); uniform > 0.01 {
+		t.Errorf("uniform: hottest key %.3f of draws, expected flat", uniform)
+	}
+}
+
+// TestStreamRejectsBadParams: invalid universes and skews fail fast.
+func TestStreamRejectsBadParams(t *testing.T) {
+	if _, err := NewStream("Nope", 10, 0, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := NewStream("Geo", 0, 0, 1); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if _, err := NewStream("Geo", 10, 1.0, 1); err == nil {
+		t.Error("skew 1.0 accepted (rand.Zipf needs s > 1)")
+	}
+	if _, err := NewStream("Geo", 10, 0.5, 1); err == nil {
+		t.Error("skew 0.5 accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package hist provides a fixed-footprint, concurrency-safe latency
+// histogram with HDR-style log-linear buckets, built for the open-loop load
+// harness and the server's per-endpoint latency summaries.
+//
+// Values (nanoseconds) are bucketed by their highest set bit with 32
+// sub-buckets per power of two, so every recorded value is reconstructed to
+// within ~3.1% relative error regardless of magnitude — microsecond kernel
+// calls and multi-second stalls share one array of a few KiB, and recording
+// is a single atomic increment. The key invariant: percentiles computed from
+// a Snapshot are taken over *every* recorded value (no sampling, no decay),
+// which is what lets an open-loop driver report p999s that include the
+// stalls a closed-loop/coordinated-omission measurement would silently drop.
+package hist
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits fixes the sub-bucket resolution: 2^subBits linear sub-buckets
+	// per power of two, bounding relative reconstruction error at 2^-subBits.
+	subBits  = 5
+	subCount = 1 << subBits
+	// maxShift caps the tracked magnitude at 2^(subBits+maxShift+1) ns
+	// (~36.6 minutes); larger values clamp into the top bucket (the exact
+	// maximum is still tracked separately).
+	maxShift  = 35
+	numCounts = (maxShift + 2) * subCount
+)
+
+// Histogram counts values into log-linear buckets. The zero value is ready
+// to use. All methods are safe for concurrent use; Record is a single
+// atomic add plus two bounded CAS loops for min/max.
+type Histogram struct {
+	counts [numCounts]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	// minPlus1 stores the minimum plus one, so zero means "nothing
+	// recorded yet" and no separate initialization step is needed.
+	minPlus1 atomic.Uint64
+	max      atomic.Uint64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	shift := bits.Len64(v) - subBits - 1
+	if shift > maxShift {
+		shift = maxShift
+		// Clamp into the top bucket row.
+		return numCounts - 1
+	}
+	return shift*subCount + int(v>>uint(shift))
+}
+
+// bucketMid returns the representative (midpoint) value of bucket idx.
+func bucketMid(idx int) uint64 {
+	if idx < subCount {
+		return uint64(idx)
+	}
+	shift := idx/subCount - 1
+	base := uint64(idx-shift*subCount) << uint(shift)
+	return base + uint64(1)<<uint(shift)/2
+}
+
+// Record adds one duration observation. Negative durations count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.RecordValue(uint64(d))
+}
+
+// RecordValue adds one raw (nanosecond) observation.
+func (h *Histogram) RecordValue(v uint64) {
+	if v > math.MaxUint64-1 {
+		v = math.MaxUint64 - 1 // keep v+1 representable in minPlus1
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.minPlus1.Load()
+		if cur != 0 && cur-1 <= v {
+			break
+		}
+		if h.minPlus1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot freezes the histogram's current contents for reading. Concurrent
+// Records during the copy may land in either side; the snapshot is a
+// consistent-enough view for reporting (counts never go backwards).
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if mp := h.minPlus1.Load(); mp != 0 {
+		s.Min = mp - 1
+	}
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			if s.Counts == nil {
+				s.Counts = make([]uint64, numCounts)
+			}
+			s.Counts[i] = c
+		}
+	}
+	return s
+}
+
+// Snapshot is a frozen histogram: bucket counts plus exact count/sum/min/max
+// of the recorded values. The zero value is an empty snapshot.
+type Snapshot struct {
+	// Counts holds the per-bucket tallies (nil when nothing was recorded).
+	Counts []uint64 `json:"-"`
+	// Count is the total number of recorded values.
+	Count uint64 `json:"count"`
+	// Sum is the exact sum of recorded values (ns).
+	Sum uint64 `json:"sum_ns"`
+	// Min and Max are the exact extremes (ns); zero when empty.
+	Min uint64 `json:"min_ns"`
+	Max uint64 `json:"max_ns"`
+}
+
+// Merge folds other into s.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil || other.Count == 0 {
+		return
+	}
+	if s.Count == 0 || other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Counts != nil {
+		if s.Counts == nil {
+			s.Counts = make([]uint64, numCounts)
+		}
+		for i, c := range other.Counts {
+			s.Counts[i] += c
+		}
+	}
+}
+
+// Quantile returns the value at quantile q in [0, 1] (0.5 = median), as a
+// duration. The answer is the representative value of the bucket holding the
+// q-th ranked observation — within ~3.1% of the true value — clamped to the
+// exact observed Min/Max so single-value histograms round-trip exactly.
+func (s *Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || s.Counts == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMid(i)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean returns the exact arithmetic mean of the recorded values.
+func (s *Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}

@@ -1,0 +1,136 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSingleValueRoundTrip: a histogram holding one value must report that
+// exact value at every quantile (the Min/Max clamp guarantees it).
+func TestSingleValueRoundTrip(t *testing.T) {
+	for _, v := range []time.Duration{0, 1, 17, 999, 12345, 7 * time.Millisecond, 3 * time.Second, 20 * time.Minute} {
+		var h Histogram
+		h.Record(v)
+		s := h.Snapshot()
+		if s.Count != 1 {
+			t.Fatalf("count = %d, want 1", s.Count)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			if got := s.Quantile(q); got != v {
+				t.Errorf("value %v: quantile(%v) = %v, want exact round-trip", v, q, got)
+			}
+		}
+		if s.Mean() != v {
+			t.Errorf("value %v: mean = %v", v, s.Mean())
+		}
+	}
+}
+
+// TestQuantilesAgainstSortedReference: quantiles over a mixed-magnitude
+// sample must land within the bucket resolution (2^-subBits relative error)
+// of the exact order statistic.
+func TestQuantilesAgainstSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over [1us, 10s]: exercises many bucket rows.
+		v := math.Exp(rng.Float64()*math.Log(1e10/1e3)) * 1e3
+		vals = append(vals, v)
+		h.RecordValue(uint64(v))
+	}
+	sort.Float64s(vals)
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	const tol = 1.0 / float64(subCount) // relative bucket width
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		idx := int(math.Ceil(q*float64(len(vals)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		want := vals[idx]
+		got := float64(s.Quantile(q))
+		if relErr := math.Abs(got-want) / want; relErr > tol {
+			t.Errorf("quantile(%v) = %v, reference %v, rel err %.4f > %.4f", q, got, want, relErr, tol)
+		}
+	}
+	if got, want := float64(s.Min), vals[0]; got != math.Trunc(want) {
+		t.Errorf("min = %v, want %v", got, math.Trunc(want))
+	}
+	if got, want := float64(s.Max), vals[len(vals)-1]; got != math.Trunc(want) {
+		t.Errorf("max = %v, want %v", got, math.Trunc(want))
+	}
+}
+
+// TestMerge: merging two snapshots must equal recording into one histogram.
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, all Histogram
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1_000_000_000))
+		if i%2 == 0 {
+			a.RecordValue(v)
+		} else {
+			b.RecordValue(v)
+		}
+		all.RecordValue(v)
+	}
+	sa, sall := a.Snapshot(), all.Snapshot()
+	sa.Merge(b.Snapshot())
+	if sa.Count != sall.Count || sa.Sum != sall.Sum || sa.Min != sall.Min || sa.Max != sall.Max {
+		t.Fatalf("merge mismatch: %+v vs %+v", sa, sall)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if sa.Quantile(q) != sall.Quantile(q) {
+			t.Errorf("quantile(%v): merged %v, direct %v", q, sa.Quantile(q), sall.Quantile(q))
+		}
+	}
+}
+
+// TestEmpty: the zero histogram reports zeros everywhere.
+func TestEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+// TestConcurrentRecord: hammer Record from several goroutines; the total
+// count, sum, and extremes must be exact (buckets are atomic, min/max CAS).
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.RecordValue(uint64(rng.Intn(1_000_000)) + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if s.Min == 0 || s.Max < s.Min {
+		t.Fatalf("bad extremes: min %d max %d", s.Min, s.Max)
+	}
+}

@@ -1,0 +1,57 @@
+// Package loadgen implements the open-loop HTTP load driver behind
+// cmd/loadgen: a fixed arrival-rate request schedule against cmd/server's
+// /match and /add endpoints, with per-endpoint latency histograms and a
+// JSON-serializable report.
+//
+// The key invariant is open-loop arrival: send instants are fixed at
+// schedule construction (tick i fires at start + i/rate) and never shift
+// because a send or a response is slow, and latency is measured from the
+// *scheduled* instant, not the actual send — so a server stall (a snapshot
+// checkpoint, a WAL fsync burst, an epoch publish) shows up as queueing
+// delay in the tail percentiles instead of being hidden by coordinated
+// omission, the way a closed-loop driver would hide it by simply issuing
+// fewer requests while blocked.
+package loadgen
+
+import "time"
+
+// Clock abstracts wall time for the scheduler so tests can drive a virtual
+// timeline deterministically.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// SleepUntil blocks until t (returning immediately when t has passed).
+	SleepUntil(t time.Time)
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) SleepUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// RealClock is the wall-clock Clock used outside tests.
+var RealClock Clock = realClock{}
+
+// FakeClock is a manually advanced Clock for deterministic scheduler tests:
+// SleepUntil jumps the virtual time forward instantly. Not safe for
+// concurrent use — it models a single-threaded schedule loop.
+type FakeClock struct {
+	// Cur is the current virtual instant.
+	Cur time.Time
+}
+
+// Now returns the virtual time.
+func (c *FakeClock) Now() time.Time { return c.Cur }
+
+// SleepUntil advances the virtual time to t (never backwards).
+func (c *FakeClock) SleepUntil(t time.Time) {
+	if t.After(c.Cur) {
+		c.Cur = t
+	}
+}

@@ -1,0 +1,340 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Workload supplies request payloads: one query record for /match, one
+// record batch for /add. Methods are called from the single dispatch
+// goroutine only, so implementations need no locking, and generation cost
+// must stay far below the arrival interval (payloads are built before the
+// send goroutine is spawned, keeping generation off the measured path).
+type Workload interface {
+	// MatchValues returns one query record, ordered by the server's schema.
+	MatchValues() []string
+	// AddBatch returns one ingest batch.
+	AddBatch() [][]string
+}
+
+// Config parameterizes one open-loop trial.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Rate is the target arrival rate in requests/second across both
+	// endpoints.
+	Rate float64
+	// Duration is the measured window; Warmup arrivals before it are sent
+	// and waited for but excluded from the histograms.
+	Duration time.Duration
+	// Warmup precedes the measured window (0 = none).
+	Warmup time.Duration
+	// MatchRatio is the fraction of arrivals that are /match queries; the
+	// rest are /add batches. Negative defaults to 0.9.
+	MatchRatio float64
+	// K is the /match candidate width (default 1).
+	K int
+	// Timeout bounds one request (default 5s); a timed-out request counts
+	// as both an error and a timeout.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently outstanding requests (default 4096).
+	// When the cap is hit, an arrival is *dropped and counted* rather than
+	// delayed — blocking would quietly turn the driver closed-loop.
+	MaxInFlight int
+	// Seed drives the match/add coin flips (deterministic arrival mix).
+	Seed int64
+	// Clock schedules arrivals (nil = wall clock).
+	Clock Clock
+	// Client issues the requests (nil = fresh client with Timeout and an
+	// enlarged connection pool).
+	Client *http.Client
+	// Workload supplies payloads. Required.
+	Workload Workload
+}
+
+// endpoint accumulates one route's measured-window results.
+type endpoint struct {
+	sent     atomic.Int64
+	ok       atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+	dropped  atomic.Int64
+	rows     atomic.Int64
+	hist     hist.Histogram
+}
+
+// EndpointReport is one route's share of a Report. Latencies are measured
+// from the scheduled arrival instant to response completion, in
+// milliseconds.
+type EndpointReport struct {
+	// Sent counts measured-window arrivals dispatched to this route
+	// (dropped arrivals included).
+	Sent int64 `json:"sent"`
+	// OK counts 2xx responses.
+	OK int64 `json:"ok"`
+	// Errors counts transport failures, timeouts, and non-2xx statuses.
+	Errors int64 `json:"errors"`
+	// Timeouts is the subset of Errors that hit the per-request timeout.
+	Timeouts int64 `json:"timeouts"`
+	// Dropped counts arrivals discarded at the in-flight cap (also in
+	// Errors): sustained drops mean the server is beyond saturation.
+	Dropped int64 `json:"dropped"`
+	// Rows is the total record count sent (batch sizes summed; 1 per
+	// match).
+	Rows int64 `json:"rows"`
+	// Latency percentiles over OK+error responses (not drops), scheduled
+	// instant to completion.
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// Report is one trial's client-side outcome.
+type Report struct {
+	// TargetRate is the configured arrival rate (req/s).
+	TargetRate float64 `json:"target_rate"`
+	// DurationSeconds / WarmupSeconds echo the configured windows.
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	// Scheduled counts measured-window arrivals (= ceil(rate · duration)
+	// minus warmup ticks; independent of server speed by construction).
+	Scheduled int64 `json:"scheduled"`
+	// WarmupScheduled / WarmupErrors cover the discarded warmup window.
+	WarmupScheduled int64 `json:"warmup_scheduled"`
+	WarmupErrors    int64 `json:"warmup_errors"`
+	// AchievedRate is completed (OK) responses per measured second; a gap
+	// to TargetRate means errors, drops, or requests still in flight at
+	// the deadline.
+	AchievedRate float64 `json:"achieved_rate"`
+	// Endpoints holds per-route results, keyed "match" and "add".
+	Endpoints map[string]*EndpointReport `json:"endpoints"`
+}
+
+// Run executes one open-loop trial and blocks until every dispatched
+// request has completed or timed out.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("loadgen: Workload is required")
+	}
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.MatchRatio < 0 {
+		cfg.MatchRatio = 0.9
+	}
+	if cfg.MatchRatio > 1 {
+		return nil, fmt.Errorf("loadgen: MatchRatio must be in [0,1], got %v", cfg.MatchRatio)
+	}
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = RealClock
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		// The pool must hold the peak in-flight count, or the driver
+		// serializes on connection churn and measures itself.
+		tr.MaxIdleConns = cfg.MaxInFlight
+		tr.MaxIdleConnsPerHost = cfg.MaxInFlight
+		client = &http.Client{Transport: tr, Timeout: cfg.Timeout}
+	}
+
+	pacer, err := NewPacer(cfg.Rate, clock)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		eps = map[string]*endpoint{"match": {}, "add": {}}
+		rng = rand.New(rand.NewSource(cfg.Seed))
+
+		measureStart = pacer.Start().Add(cfg.Warmup)
+		deadline     = measureStart.Add(cfg.Duration)
+
+		warmScheduled atomic.Int64
+		warmErrors    atomic.Int64
+		scheduled     int64
+
+		sem = make(chan struct{}, cfg.MaxInFlight)
+		wg  sync.WaitGroup
+	)
+
+	for {
+		t, ok := pacer.Next(deadline)
+		if !ok {
+			break
+		}
+		warm := t.Before(measureStart)
+		name := "add"
+		var body []byte
+		var rows int64
+		if rng.Float64() < cfg.MatchRatio {
+			name = "match"
+			rows = 1
+			body, err = json.Marshal(struct {
+				Values []string `json:"values"`
+				K      int      `json:"k"`
+			}{cfg.Workload.MatchValues(), cfg.K})
+		} else {
+			batch := cfg.Workload.AddBatch()
+			rows = int64(len(batch))
+			body, err = json.Marshal(struct {
+				Records [][]string `json:"records"`
+			}{batch})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: encode %s payload: %w", name, err)
+		}
+		ep := eps[name]
+		if warm {
+			warmScheduled.Add(1)
+		} else {
+			scheduled++
+			ep.sent.Add(1)
+			ep.rows.Add(rows)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Cap hit: count and move on — the schedule must not block.
+			if warm {
+				warmErrors.Add(1)
+			} else {
+				ep.dropped.Add(1)
+				ep.errors.Add(1)
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(name string, ep *endpoint, scheduledAt time.Time, body []byte, warm bool) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			status, err := post(client, cfg.BaseURL+"/"+name, body, cfg.Timeout)
+			if warm {
+				if err != nil || status/100 != 2 {
+					warmErrors.Add(1)
+				}
+				return
+			}
+			// Latency from the *scheduled* instant: dispatcher or queueing
+			// lag counts against the server's tail, as open-loop demands.
+			ep.hist.Record(clock.Now().Sub(scheduledAt))
+			switch {
+			case err != nil:
+				ep.errors.Add(1)
+				if isTimeout(err) {
+					ep.timeouts.Add(1)
+				}
+			case status/100 != 2:
+				ep.errors.Add(1)
+			default:
+				ep.ok.Add(1)
+			}
+		}(name, ep, t, body, warm)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		TargetRate:      cfg.Rate,
+		DurationSeconds: cfg.Duration.Seconds(),
+		WarmupSeconds:   cfg.Warmup.Seconds(),
+		Scheduled:       scheduled,
+		WarmupScheduled: warmScheduled.Load(),
+		WarmupErrors:    warmErrors.Load(),
+		Endpoints:       map[string]*EndpointReport{},
+	}
+	var totalOK int64
+	for name, ep := range eps {
+		s := ep.hist.Snapshot()
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		rep.Endpoints[name] = &EndpointReport{
+			Sent:     ep.sent.Load(),
+			OK:       ep.ok.Load(),
+			Errors:   ep.errors.Load(),
+			Timeouts: ep.timeouts.Load(),
+			Dropped:  ep.dropped.Load(),
+			Rows:     ep.rows.Load(),
+			P50Ms:    ms(s.Quantile(0.50)),
+			P90Ms:    ms(s.Quantile(0.90)),
+			P99Ms:    ms(s.Quantile(0.99)),
+			P999Ms:   ms(s.Quantile(0.999)),
+			MaxMs:    ms(time.Duration(s.Max)),
+			MeanMs:   ms(s.Mean()),
+		}
+		totalOK += ep.ok.Load()
+	}
+	rep.AchievedRate = float64(totalOK) / cfg.Duration.Seconds()
+	return rep, nil
+}
+
+// post issues one JSON POST and drains the response body (connection reuse
+// requires reading it fully).
+func post(client *http.Client, url string, body []byte, timeout time.Duration) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, err
+}
+
+// isTimeout reports whether err is a deadline/timeout failure.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || os.IsTimeout(err) {
+		return true
+	}
+	var ne interface{ Timeout() bool }
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Errors sums error counts (drops included) across endpoints.
+func (r *Report) Errors() int64 {
+	var n int64
+	for _, ep := range r.Endpoints {
+		n += ep.Errors
+	}
+	return n
+}
+
+// OK sums completed 2xx responses across endpoints.
+func (r *Report) OK() int64 {
+	var n int64
+	for _, ep := range r.Endpoints {
+		n += ep.OK
+	}
+	return n
+}

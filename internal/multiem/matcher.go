@@ -88,6 +88,8 @@ type ArityError struct {
 	Schema []string
 }
 
+// Error formats the mismatch with the expected schema and, for batch
+// operations, the offending row index.
 func (e *ArityError) Error() string {
 	msg := fmt.Sprintf("record has %d values, schema %v wants %d", e.Got, e.Schema, e.Want)
 	if e.Row >= 0 {

@@ -63,6 +63,7 @@ func ParsePolicy(s string) (SyncPolicy, error) {
 	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
 }
 
+// String returns the flag spelling accepted by ParsePolicy.
 func (p SyncPolicy) String() string {
 	switch p {
 	case SyncAlways:

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Open-loop load smoke for the serving tier (CI: make load-smoke):
+#
+#   1. build cmd/server and cmd/loadgen
+#   2. start the server on a small Geo build, wait for /readyz
+#   3. drive ~5s of open-loop mixed /match + /add traffic at a low rate
+#   4. assert zero errors and a non-empty latency histogram (loadgen
+#      -fail-on-error exits non-zero otherwise) and leave the JSON report
+#      at $LOADGEN_JSON for CI to upload
+#
+# Env overrides: RATE, DURATION, WARMUP, LOADGEN_JSON.
+# Run from the repository root.
+set -euo pipefail
+
+RATE="${RATE:-150}"
+DURATION="${DURATION:-5s}"
+WARMUP="${WARMUP:-1s}"
+LOADGEN_JSON="${LOADGEN_JSON:-loadgen-smoke.json}"
+
+WORK="$(mktemp -d)"
+ADDR="127.0.0.1:18090"
+BASE="http://$ADDR"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "load-smoke: $*" >&2; }
+
+wait_ready() {
+  for _ in $(seq 1 300); do
+    if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  log "server on $ADDR never became ready"
+  cat "$WORK/server.log" >&2 || true
+  return 1
+}
+
+log "building server and loadgen"
+go build -o "$WORK/server" ./cmd/server
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+log "starting server (Geo 0.1, durable, fsync interval)"
+"$WORK/server" -dataset Geo -scale 0.1 -seed 7 \
+  -wal-dir "$WORK/wal" -fsync interval \
+  -addr "$ADDR" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+wait_ready
+
+log "driving $DURATION of open-loop traffic at $RATE req/s"
+"$WORK/loadgen" -url "$BASE" \
+  -rate "$RATE" -duration "$DURATION" -warmup "$WARMUP" \
+  -match-ratio 0.8 -batch 4..16 -dataset Geo -universe 2000 -zipf 1.2 \
+  -json "$LOADGEN_JSON" -fail-on-error
+
+# The report must carry real histograms on both endpoints: a p50 of zero
+# means an endpoint was never measured.
+for ep in match add; do
+  if ! grep -A8 "\"$ep\"" "$LOADGEN_JSON" | grep -q '"p50_ms": [0-9]*\.[0-9]*[1-9]'; then
+    if ! grep -A8 "\"$ep\"" "$LOADGEN_JSON" | grep '"p50_ms"' | grep -qv '"p50_ms": 0,'; then
+      log "FAIL: endpoint $ep has an empty histogram in $LOADGEN_JSON"
+      exit 1
+    fi
+  fi
+done
+
+log "PASS: zero errors, histograms populated ($LOADGEN_JSON)"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Parameter-sweep runner for the open-loop load harness: one CSV row per
+# configuration point across shards x fsync policy (the acceptance grid),
+# driven by cmd/loadgen's sweep mode, which restarts the server fresh per
+# point and scrapes /stats for the server-side columns.
+#
+# Defaults are CI-smoke sized (short trials, small grid). For a real
+# characterization run, raise DURATION/WARMUP and widen the axes:
+#
+#   DURATION=30s WARMUP=5s SWEEP_ARGS='-sweep shards=1,2,4,8 \
+#     -sweep fsync=off,interval,always -sweep efsearch=32..256' \
+#     ./scripts/load_sweep.sh
+#
+# Env overrides: RATE, DURATION, WARMUP, SCALE, SWEEP_ARGS, SWEEP_CSV.
+# Run from the repository root (CI smoke: make load-sweep).
+set -euo pipefail
+
+RATE="${RATE:-120}"
+DURATION="${DURATION:-3s}"
+WARMUP="${WARMUP:-1s}"
+SCALE="${SCALE:-0.1}"
+SWEEP_ARGS="${SWEEP_ARGS:--sweep shards=1,2 -sweep fsync=off,always}"
+SWEEP_CSV="${SWEEP_CSV:-sweep.csv}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+log() { echo "load-sweep: $*" >&2; }
+
+log "building server and loadgen"
+go build -o "$WORK/server" ./cmd/server
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+log "sweeping: $SWEEP_ARGS (rate $RATE, $DURATION + $WARMUP warmup per point)"
+# shellcheck disable=SC2086  # SWEEP_ARGS is intentionally word-split
+"$WORK/loadgen" -server-bin "$WORK/server" -server-args "-dataset Geo -scale $SCALE -seed 7" \
+  $SWEEP_ARGS \
+  -rate "$RATE" -duration "$DURATION" -warmup "$WARMUP" \
+  -match-ratio 0.8 -batch 8 -dataset Geo -universe 2000 \
+  -csv "$SWEEP_CSV"
+
+ROWS="$(($(wc -l < "$SWEEP_CSV") - 1))"
+if [ "$ROWS" -lt 1 ]; then
+  log "FAIL: $SWEEP_CSV has no data rows"
+  exit 1
+fi
+log "PASS: $SWEEP_CSV has $ROWS configuration rows"
