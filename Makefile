@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race race-matcher crash-recovery bench bench-smoke bench-json load-smoke load-sweep
+.PHONY: all build vet fmt test race race-matcher crash-recovery failover-smoke bench bench-smoke bench-json load-smoke load-sweep
 
 all: build vet test
 
@@ -34,6 +34,13 @@ race-matcher:
 # restart on the same -wal-dir, and diff /stats against the pre-kill state.
 crash-recovery:
 	./scripts/crash_recovery.sh
+
+# Black-box failover: primary + follower over WAL shipping, SIGKILL the
+# primary mid-ingest, promote the follower, and assert it serves every
+# acked batch and accepts writes. FAILOVER_LOG_DIR collects both processes'
+# logs (CI uploads them on failure).
+failover-smoke:
+	./scripts/failover.sh
 
 # Open-loop load smoke: ~5s of mixed /match + /add traffic at a fixed
 # arrival rate against a live server; fails on any error or empty

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/repl"
 )
 
 func main() {
@@ -63,6 +64,13 @@ func main() {
 		fsync         = flag.String("fsync", "interval", "WAL fsync policy: always | interval | off")
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer for -fsync interval")
 		snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot cadence (0 disables; snapshots truncate the WAL)")
+		snapKeep      = flag.Int("snapshot-keep", 2, "checkpoints to retain (newest first); older ones are deleted after each snapshot")
+
+		role         = flag.String("role", "primary", "replication role: primary | follower")
+		primaryURL   = flag.String("primary-url", "", "primary base URL (required with -role follower)")
+		followPoll   = flag.Duration("follow-poll", 250*time.Millisecond, "follower steady-state fetch interval")
+		promoteAfter = flag.Duration("promote-after", 0, "follower self-promotes after the primary is unreachable this long (0 = manual /promote only)")
+		warmupK      = flag.Int("warmup", 8, "probe matches run before /readyz flips after recovery, bootstrap, or promotion (0 disables)")
 	)
 	flag.Parse()
 
@@ -79,6 +87,9 @@ func main() {
 	// /healthz (alive) and /readyz (503, starting) instead of refusing
 	// connections. Data endpoints 503 until the matcher is installed.
 	s := newServer(*maxAddBytes)
+	s.walDir = *walDir
+	s.warmupK = *warmupK
+	s.primaryHint = *primaryURL
 	srv := &http.Server{
 		Handler: s.handler(),
 		// Bound slow clients: without these a stalled connection pins a
@@ -96,40 +107,95 @@ func main() {
 	go func() { errCh <- srv.Serve(ln) }()
 	log.Printf("listening on %s (not ready: matcher starting)", *addr)
 
-	base := func() (*repro.Matcher, error) {
-		return loadOrBuild(*loadIndex, *dataDir, *dataset, *scale, *seed, opt)
+	cfg := repro.WALConfig{
+		Dir:              *walDir,
+		Fsync:            *fsync,
+		FsyncInterval:    *fsyncInterval,
+		SnapshotInterval: *snapInterval,
+		SnapshotKeep:     *snapKeep,
 	}
-	var matcher *repro.Matcher
-	if *walDir != "" {
-		cfg := repro.WALConfig{
-			Dir:              *walDir,
-			Fsync:            *fsync,
-			FsyncInterval:    *fsyncInterval,
-			SnapshotInterval: *snapInterval,
+	var follower *repl.Follower
+	switch *role {
+	case "follower":
+		// A follower builds nothing: it bootstraps from the primary's
+		// newest snapshot (or its own mirror, when restarting) and chases
+		// the shipped WAL. -wal-dir is the mirror directory — on promotion
+		// it becomes this node's durability directory as-is.
+		if *primaryURL == "" || *walDir == "" {
+			log.Fatalf("server: -role follower requires -primary-url and -wal-dir (the mirror directory)")
 		}
-		matcher, err = repro.RecoverMatcher(cfg, opt, base)
-		if err == nil {
-			ws := matcher.WALStats()
-			log.Printf("durability on: wal-dir %s, fsync %s, %d log segments (%d bytes), next seq %d (snapshot covers %d)",
-				ws.Dir, ws.Fsync, ws.Segments, ws.Bytes, ws.NextSeq, ws.SnapshotSeq)
+		if *loadIndex != "" || *dataDir != "" || *dataset != "" {
+			log.Fatalf("server: a follower takes no data source; its state comes from the primary")
 		}
-	} else {
-		matcher, err = base()
-	}
-	if err != nil {
-		log.Fatalf("server: %v", err)
-	}
-	if *saveIndex != "" {
-		if err := repro.SaveMatcherFile(matcher, *saveIndex); err != nil {
+		follower, err = repl.Start(repl.Config{
+			PrimaryURL:    *primaryURL,
+			Dir:           *walDir,
+			Opt:           opt,
+			WAL:           cfg,
+			Poll:          *followPoll,
+			PromoteAfter:  *promoteAfter,
+			OnAutoPromote: func() { s.finishPromotion(follower) },
+			Logf:          log.Printf,
+		})
+		if err != nil {
 			log.Fatalf("server: %v", err)
 		}
-		log.Printf("saved matcher to %s", *saveIndex)
-	}
+		s.setFollower(follower)
+		// Readiness waits for the bootstrap: once the follower publishes a
+		// matcher, run the warmup probes and flip /readyz.
+		go func() {
+			for follower.Matcher() == nil && !follower.Promoted() {
+				time.Sleep(50 * time.Millisecond)
+			}
+			s.warmup()
+			st := follower.Stats()
+			log.Printf("ready: following %s at seq %d (lag %d batches)", *primaryURL, st.NextSeq, st.LagBatches)
+		}()
+		log.Printf("follower: mirroring %s into %s (poll %v, auto-promote %v)", *primaryURL, *walDir, *followPoll, *promoteAfter)
 
-	s.setMatcher(matcher)
-	st := matcher.Stats()
-	log.Printf("ready: serving %d entities in %d tuples (%d matched, %d singletons) across %d shards over attrs %v",
-		st.Entities, st.Tuples, st.Matched, st.Singletons, st.Shards, st.Attrs)
+	case "primary":
+		base := func() (*repro.Matcher, error) {
+			return loadOrBuild(*loadIndex, *dataDir, *dataset, *scale, *seed, opt)
+		}
+		var matcher *repro.Matcher
+		if *walDir != "" {
+			matcher, err = repro.RecoverMatcher(cfg, opt, base)
+			if err == nil {
+				ws := matcher.WALStats()
+				log.Printf("durability on: wal-dir %s, fsync %s, %d log segments (%d bytes), next seq %d (snapshot covers %d)",
+					ws.Dir, ws.Fsync, ws.Segments, ws.Bytes, ws.NextSeq, ws.SnapshotSeq)
+			}
+		} else {
+			matcher, err = base()
+		}
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		if *saveIndex != "" {
+			if err := repro.SaveMatcherFile(matcher, *saveIndex); err != nil {
+				log.Fatalf("server: %v", err)
+			}
+			log.Printf("saved matcher to %s", *saveIndex)
+		}
+		s.setMatcher(matcher)
+		if *walDir != "" {
+			// With a WAL this node can feed followers: serve the
+			// replication endpoints and adopt (or mint) a fencing term.
+			p, err := repl.NewPrimary(matcher, *walDir)
+			if err != nil {
+				log.Fatalf("server: replication feed: %v", err)
+			}
+			s.setPrimary(p)
+			log.Printf("replication feed on: term %d", p.Term())
+		}
+		s.warmup()
+		st := matcher.Stats()
+		log.Printf("ready: serving %d entities in %d tuples (%d matched, %d singletons) across %d shards over attrs %v",
+			st.Entities, st.Tuples, st.Matched, st.Singletons, st.Shards, st.Attrs)
+
+	default:
+		log.Fatalf("server: unknown -role %q (want primary or follower)", *role)
+	}
 
 	// Graceful shutdown: drain in-flight requests, then flush and fsync the
 	// WAL, so a deliberate stop never relies on crash recovery.
@@ -146,8 +212,17 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("server: shutdown: %v", err)
 		}
-		if err := matcher.CloseWAL(); err != nil {
-			log.Fatalf("server: wal flush: %v", err)
+		if follower != nil {
+			// Stop the fetch loop first; a promoted follower's matcher has
+			// a live WAL that still needs the flush below.
+			if err := follower.Close(); err != nil {
+				log.Printf("server: follower stop: %v", err)
+			}
+		}
+		if m := s.currentMatcher(); m != nil {
+			if err := m.CloseWAL(); err != nil {
+				log.Fatalf("server: wal flush: %v", err)
+			}
 		}
 		log.Printf("shutdown complete")
 	}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/hist"
+	"repro/internal/repl"
 )
 
 // maxBodyBytes bounds single-record request bodies (match payloads).
@@ -35,8 +37,31 @@ const defaultMaxAddBytes = 64 << 20
 // open; data endpoints answer 503 while the matcher is still loading.
 type server struct {
 	// m is nil until setMatcher installs the recovered matcher; handlers
-	// load it once per request.
+	// load it once per request. In follower role the serving matcher lives
+	// inside the Follower instead (it is swapped on resync) — see
+	// currentMatcher.
 	m atomic.Pointer[repro.Matcher]
+	// ready gates /readyz: set only after the matcher is installed AND the
+	// warmup probes have run, so an orchestrator never routes traffic at a
+	// process still paying cold-start costs.
+	ready atomic.Bool
+	// primary serves the replication feed (/repl/*) when this process runs
+	// with a WAL; nil otherwise, and on an unpromoted follower.
+	primary atomic.Pointer[repl.Primary]
+	// follower is set in follower role; its Matcher answers reads and its
+	// Stats feed /stats replication lag.
+	follower atomic.Pointer[repl.Follower]
+	// primaryHint is the primary's URL, quoted in follower-write 503s so
+	// clients know where writes go.
+	primaryHint string
+	// walDir is the durability (or mirror) directory; promotion reopens the
+	// replication feed from it.
+	walDir string
+	// warmupK is how many probe matches gate readiness.
+	warmupK int
+	// promoteOnce makes the manual and auto promotion paths converge on one
+	// role flip.
+	promoteOnce sync.Once
 	// maxAddBytes caps /add request bodies; larger payloads get a 413.
 	maxAddBytes int64
 	start       time.Time
@@ -69,9 +94,72 @@ func newServer(maxAddBytes int64) *server {
 	}
 }
 
-// setMatcher installs the matcher and flips /readyz to 200. Called once,
-// after loadOrBuild / RecoverMatcher return.
+// setMatcher installs the matcher; /readyz stays 503 until warmup flips
+// ready. Called once, after loadOrBuild / RecoverMatcher return.
 func (s *server) setMatcher(m *repro.Matcher) { s.m.Store(m) }
+
+// setPrimary enables the replication feed endpoints.
+func (s *server) setPrimary(p *repl.Primary) { s.primary.Store(p) }
+
+// setFollower installs the follower whose Matcher answers reads.
+func (s *server) setFollower(f *repl.Follower) { s.follower.Store(f) }
+
+// currentMatcher is the serving matcher: the installed one, or — in
+// follower role — whatever the follower currently publishes (nil until its
+// bootstrap completes, swapped wholesale on resync).
+func (s *server) currentMatcher() *repro.Matcher {
+	if m := s.m.Load(); m != nil {
+		return m
+	}
+	if f := s.follower.Load(); f != nil {
+		return f.Matcher()
+	}
+	return nil
+}
+
+// warmup runs K probe matches through the serving matcher and then flips
+// /readyz to ready. The first queries after a recovery, bootstrap, or
+// promotion pay one-time costs (page cache, ANN search scratch, branch-cold
+// code); the probes absorb them so real traffic never does. K <= 0 skips
+// straight to ready.
+func (s *server) warmup() {
+	m := s.currentMatcher()
+	if m != nil && s.warmupK > 0 {
+		row := make([]string, len(m.Schema()))
+		for i := range row {
+			row[i] = fmt.Sprintf("warmup probe %d", i)
+		}
+		for i := 0; i < s.warmupK; i++ {
+			if _, err := m.Match(row, 1); err != nil {
+				log.Printf("server: warmup probe %d: %v", i, err)
+				break
+			}
+		}
+	}
+	s.ready.Store(true)
+}
+
+// finishPromotion flips a follower into serving primary: the promoted
+// matcher is installed, readiness drops while warmup probes re-run (the
+// role change invalidates the same caches a restart would), and the
+// replication feed reopens from the mirror directory so new followers can
+// chain off this node. Manual (/promote) and automatic (PromoteAfter)
+// promotion both land here; only the first caller acts.
+func (s *server) finishPromotion(f *repl.Follower) {
+	s.promoteOnce.Do(func() {
+		s.ready.Store(false)
+		m := f.Matcher()
+		s.m.Store(m)
+		if p, err := repl.NewPrimary(m, s.walDir); err != nil {
+			log.Printf("server: promoted, but cannot serve a replication feed: %v", err)
+		} else {
+			s.primary.Store(p)
+		}
+		s.warmup()
+		st := m.WALStats()
+		log.Printf("promoted to primary: term %d, next seq %d, wal-dir %s", f.Term(), st.NextSeq, s.walDir)
+	})
+}
 
 // handler builds the route table. The data endpoints are wrapped with
 // latency/count instrumentation; the health and stats probes are not (a
@@ -83,7 +171,44 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /promote", s.handlePromote)
+	mux.HandleFunc("GET /repl/manifest", s.replHandler((*repl.Primary).HandleManifest))
+	mux.HandleFunc("GET /repl/snapshot/{seq}", s.replHandler((*repl.Primary).HandleSnapshot))
+	mux.HandleFunc("GET /repl/segment/{shard}/{index}", s.replHandler((*repl.Primary).HandleSegment))
 	return mux
+}
+
+// replHandler adapts a Primary method into a route that answers 503 until a
+// replication feed exists — this process runs without a WAL, or is a
+// follower that has not been promoted.
+func (s *server) replHandler(h func(*repl.Primary, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p := s.primary.Load()
+		if p == nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "no replication feed here: this node runs without -wal-dir, or is an unpromoted follower")
+			return
+		}
+		h(p, w, r)
+	}
+}
+
+// handlePromote flips a follower into a writable primary: the fetch loop
+// stops, the fencing term bumps, the incomplete trailing batch (if any) is
+// dropped exactly like crash recovery, and the mirror reopens for append.
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	f := s.follower.Load()
+	if f == nil {
+		writeError(w, http.StatusConflict, "this node is not a follower")
+		return
+	}
+	if err := f.Promote(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.finishPromotion(f)
+	st := f.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{"role": "primary", "term": f.Term(), "next_seq": st.NextSeq})
 }
 
 // instrument wraps a data-endpoint handler to record request count, error
@@ -124,18 +249,22 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // newHandler is the ready-at-construction convenience used by tests: the
-// matcher is installed immediately.
+// matcher is installed immediately and readiness is not warmup-gated.
 func newHandler(m *repro.Matcher, maxAddBytes int64) http.Handler {
 	s := newServer(maxAddBytes)
 	s.setMatcher(m)
+	s.ready.Store(true)
 	return s.handler()
 }
 
-// matcher returns the installed matcher, or writes a 503 and returns nil
-// while the server is still starting up (building or WAL-recovering).
+// matcher returns the serving matcher, or writes a 503 (with Retry-After,
+// so well-behaved clients pace their retries) and returns nil while the
+// server is still starting up — building, WAL-recovering, or waiting for
+// the follower bootstrap.
 func (s *server) matcher(w http.ResponseWriter) *repro.Matcher {
-	m := s.m.Load()
+	m := s.currentMatcher()
 	if m == nil {
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "matcher is starting up (building or recovering); poll /readyz")
 	}
 	return m
@@ -176,6 +305,13 @@ type statsResponse struct {
 	// WAL reports the durability subsystem — log segment counts and bytes,
 	// sequence numbers, snapshots — when the server runs with -wal-dir.
 	WAL *repro.WALStats `json:"wal,omitempty"`
+	// Role is this node's replication role: "standalone" (no WAL),
+	// "primary" (serving a replication feed), or "follower".
+	Role string `json:"role"`
+	// Replication is the follower's shipping position — lag in batches and
+	// bytes, fetch counters, time since primary contact — absent on a
+	// primary or standalone node.
+	Replication *repl.Stats `json:"replication,omitempty"`
 	// Endpoints holds per-data-endpoint request counters and handler
 	// latency percentiles since process start, keyed "match" and "add" —
 	// the server-side view an open-loop load driver reconciles its
@@ -263,6 +399,18 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := m.AddRecords(req.Records)
 	if err != nil {
+		// A follower takes no writes: point the client at the primary and
+		// tell it when to retry here (after a promotion, this node would
+		// accept the batch).
+		if errors.Is(err, repro.ErrReadOnly) {
+			w.Header().Set("Retry-After", "1")
+			msg := "this node is a read-only follower; send writes to the primary"
+			if s.primaryHint != "" {
+				msg += " at " + s.primaryHint
+			}
+			writeError(w, http.StatusServiceUnavailable, msg)
+			return
+		}
 		// AddRecords returns results alongside a compaction error: the
 		// records were ingested. A 500 here would invite a retry that
 		// duplicates the whole batch, so report success with a warning.
@@ -299,6 +447,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ws := m.WALStats(); ws.Enabled {
 		resp.WAL = &ws
 	}
+	resp.Role = "standalone"
+	if s.primary.Load() != nil {
+		resp.Role = "primary"
+	}
+	if f := s.follower.Load(); f != nil && !f.Promoted() {
+		rs := f.Stats()
+		resp.Role = rs.Role
+		resp.Replication = &rs
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -309,12 +466,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is readiness: 503 until the matcher is installed — startup
-// can spend minutes in a pipeline build or a WAL replay, during which the
-// process is alive but must not receive traffic.
+// handleReadyz is readiness: 503 until the matcher is installed AND the
+// warmup probes have completed — startup can spend minutes in a pipeline
+// build, a WAL replay, or a follower bootstrap, and right after any of
+// those (or a promotion) the first real queries would pay cold-start costs
+// the probes exist to absorb. The process is alive throughout but must not
+// receive routed traffic.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.m.Load() == nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	if !s.ready.Load() {
+		status := "starting"
+		if s.currentMatcher() != nil {
+			status = "warming up"
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": status})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

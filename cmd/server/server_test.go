@@ -8,10 +8,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro"
+	"repro/internal/multiem"
 )
 
 func testMatcher(t *testing.T) (*repro.Matcher, *repro.Dataset) {
@@ -86,9 +88,13 @@ func TestReadyzGatesTraffic(t *testing.T) {
 		t.Fatalf("readyz while starting: %d, want 503", w.Code)
 	} else if got := decodeBody[map[string]string](t, w); got["status"] != "starting" {
 		t.Fatalf("readyz body %v", got)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Fatal("starting 503 is missing Retry-After")
 	}
 	if w := get("/stats"); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("stats while starting: %d, want 503", w.Code)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Fatal("stats 503 is missing Retry-After")
 	}
 	if w := postJSON(t, h, "/match", matchRequest{Values: []string{"x", "1", "2"}}); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("match while starting: %d, want 503", w.Code)
@@ -97,15 +103,28 @@ func TestReadyzGatesTraffic(t *testing.T) {
 		t.Fatalf("add while starting: %d, want 503", w.Code)
 	}
 
+	// Installing the matcher is not enough: /readyz stays 503 (now
+	// "warming up" rather than "starting") until the warmup probes have
+	// run, though the data endpoints themselves can already answer.
 	m, _ := testMatcher(t)
+	s.warmupK = 4
 	s.setMatcher(m)
-	if w := get("/readyz"); w.Code != http.StatusOK {
-		t.Fatalf("readyz after install: %d", w.Code)
-	} else if got := decodeBody[map[string]string](t, w); got["status"] != "ready" {
+	if w := get("/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before warmup: %d, want 503", w.Code)
+	} else if got := decodeBody[map[string]string](t, w); got["status"] != "warming up" {
 		t.Fatalf("readyz body %v", got)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Fatal("warming-up 503 is missing Retry-After")
 	}
 	if w := get("/stats"); w.Code != http.StatusOK {
 		t.Fatalf("stats after install: %d", w.Code)
+	}
+
+	s.warmup()
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz after warmup: %d", w.Code)
+	} else if got := decodeBody[map[string]string](t, w); got["status"] != "ready" {
+		t.Fatalf("readyz body %v", got)
 	}
 }
 
@@ -418,5 +437,48 @@ func TestStatsReportsWAL(t *testing.T) {
 	}
 	if got.WAL.Fsync != "off" || got.WAL.NextSeq != 1 {
 		t.Fatalf("WAL stats wrong: %+v", got.WAL)
+	}
+}
+
+// TestFollowerWritesRejected: a read-only replica answers /match but bounces
+// /add with a 503 + Retry-After pointing writers at the primary — the
+// client-visible half of the replication fence.
+func TestFollowerWritesRejected(t *testing.T) {
+	m, d := testMatcher(t)
+	multiem.NewReplicator(m, 0) // flips the matcher read-only, as a follower does
+	s := newServer(0)
+	s.primaryHint = "http://primary.example:8080"
+	s.setMatcher(m)
+	s.ready.Store(true)
+	h := s.handler()
+
+	w := postJSON(t, h, "/add", addRequest{Records: [][]string{{"x", "1", "2"}}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("follower add: status %d, want 503 (body %s)", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("follower-write 503 is missing Retry-After")
+	}
+	if got := decodeBody[errorResponse](t, w); !strings.Contains(got.Error, "http://primary.example:8080") {
+		t.Fatalf("follower-write error does not name the primary: %q", got.Error)
+	}
+
+	byID := d.EntityByID()
+	q := byID[m.Result().Tuples[0][0]].Values
+	if w := postJSON(t, h, "/match", matchRequest{Values: q}); w.Code != http.StatusOK {
+		t.Fatalf("follower match: status %d (body %s)", w.Code, w.Body)
+	}
+
+	// No replication feed on an unpromoted follower: /repl/* is 503 too.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/repl/manifest", nil))
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("repl feed on follower: status %d, want 503 with Retry-After", w.Code)
+	}
+	// And /promote on a node that is not a follower process is a 409.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/promote", nil))
+	if w.Code != http.StatusConflict {
+		t.Fatalf("promote on non-follower: status %d, want 409", w.Code)
 	}
 }

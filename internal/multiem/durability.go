@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +57,11 @@ type WALConfig struct {
 	// often; <= 0 disables background snapshots (Snapshot can still be
 	// called explicitly).
 	SnapshotInterval time.Duration
+	// SnapshotKeep is how many checkpoints to retain, newest first; <= 0
+	// means 2. Keeping more than one means a replication follower that
+	// picked a snapshot from the manifest can still fetch it after the
+	// primary checkpoints again mid-bootstrap.
+	SnapshotKeep int
 }
 
 // WALStats reports the durability subsystem's size and activity, aggregated
@@ -149,6 +155,33 @@ func shardLogDir(dir string, s int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%04d", s))
 }
 
+// LatestSnapshot reports the newest checkpoint in a durability (or mirror)
+// directory: its path, the sequence it covers, and whether one exists.
+func LatestSnapshot(dir string) (path string, seq uint64, ok bool, err error) {
+	return latestSnapshot(dir)
+}
+
+// SnapshotFile names the checkpoint file covering seq under a durability
+// directory; replication mirrors use it to lay files out exactly like the
+// primary.
+func SnapshotFile(dir string, seq uint64) string { return snapshotPath(dir, seq) }
+
+// ShardLogDir names shard s's log directory under a durability directory;
+// exported for the replication layer, which mirrors the layout byte for
+// byte so a promoted follower's directory is a valid durability directory.
+func ShardLogDir(dir string, s int) string { return shardLogDir(dir, s) }
+
+// ShardLog exposes shard s's write-ahead log so the replication layer can
+// serve its manifest and segment bytes (wal.Log reads are safe alongside
+// the matcher's appends). Returns nil without an attached WAL or for an
+// out-of-range shard. Callers must only read.
+func (m *Matcher) ShardLog(s int) *wal.Log {
+	if m.wal == nil || s < 0 || s >= len(m.wal.logs) {
+		return nil
+	}
+	return m.wal.logs[s]
+}
+
 // RecoverMatcher opens (or creates) the durability directory and returns a
 // matcher with the WAL attached:
 //
@@ -165,18 +198,9 @@ func shardLogDir(dir string, s int) string {
 //
 // Call CloseWAL on shutdown to flush and fsync the logs.
 func RecoverMatcher(cfg WALConfig, opt Options, base func() (*Matcher, error)) (*Matcher, error) {
-	if cfg.Dir == "" {
-		return nil, errors.New("multiem: RecoverMatcher: WALConfig.Dir is required")
-	}
-	if cfg.Fsync == "" {
-		cfg.Fsync = "interval"
-	}
-	policy, err := wal.ParsePolicy(cfg.Fsync)
+	cfg, policy, err := normalizeWALConfig(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("multiem: %w", err)
-	}
-	if cfg.FsyncInterval <= 0 {
-		cfg.FsyncInterval = 100 * time.Millisecond
+		return nil, err
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("multiem: wal dir: %w", err)
@@ -253,6 +277,28 @@ func RecoverMatcher(cfg WALConfig, opt Options, base func() (*Matcher, error)) (
 
 	ws.startLoops(m)
 	return m, nil
+}
+
+// normalizeWALConfig applies the documented defaults and resolves the fsync
+// policy; RecoverMatcher and Replicator.Promote share it.
+func normalizeWALConfig(cfg WALConfig) (WALConfig, wal.SyncPolicy, error) {
+	if cfg.Dir == "" {
+		return cfg, 0, errors.New("multiem: WALConfig.Dir is required")
+	}
+	if cfg.Fsync == "" {
+		cfg.Fsync = "interval"
+	}
+	policy, err := wal.ParsePolicy(cfg.Fsync)
+	if err != nil {
+		return cfg, 0, fmt.Errorf("multiem: %w", err)
+	}
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = 100 * time.Millisecond
+	}
+	if cfg.SnapshotKeep <= 0 {
+		cfg.SnapshotKeep = 2
+	}
+	return cfg, policy, nil
 }
 
 // checkShardDirs rejects a durability dir whose shard logs outnumber the
@@ -475,7 +521,7 @@ func (m *Matcher) replayWAL(logs []*wal.Log, startSeq uint64, policy wal.SyncPol
 			}
 		}
 		m.addMu.Lock()
-		res, err := m.addBatchLocked(rows, false)
+		res, err := m.addBatchLocked(rows, batchRecover)
 		m.addMu.Unlock()
 		// A compaction failure comes back alongside results, exactly as it
 		// did on the original ingest; the batch is applied either way.
@@ -579,7 +625,7 @@ func (m *Matcher) Snapshot() (seq uint64, err error) {
 			cleanupErrs = append(cleanupErrs, err)
 		}
 	}
-	if err := dropOldSnapshots(ws.cfg.Dir, seq); err != nil {
+	if err := dropOldSnapshots(ws.cfg.Dir, ws.cfg.SnapshotKeep); err != nil {
 		cleanupErrs = append(cleanupErrs, err)
 	}
 	if err := errors.Join(cleanupErrs...); err != nil {
@@ -588,27 +634,47 @@ func (m *Matcher) Snapshot() (seq uint64, err error) {
 	return seq, nil
 }
 
-// dropOldSnapshots removes checkpoints older than keep.
-func dropOldSnapshots(dir string, keep uint64) error {
-	entries, err := os.ReadDir(dir)
+// dropOldSnapshots removes all but the newest keep checkpoints. Retaining
+// more than the latest one keeps a snapshot a follower is mid-download
+// alive across the next checkpoint.
+func dropOldSnapshots(dir string, keep int) error {
+	seqs, err := ListSnapshots(dir)
 	if err != nil {
 		return err
 	}
+	if keep < 1 {
+		keep = 1
+	}
 	var errs []error
+	for i := 0; i < len(seqs)-keep; i++ { // seqs ascend; drop the oldest
+		if err := os.Remove(snapshotPath(dir, seqs[i])); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ListSnapshots returns the checkpoint sequences present in a durability
+// directory, ascending. Replication primaries publish these in the manifest.
+func ListSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("multiem: wal dir: %w", err)
+	}
+	var seqs []uint64
 	for _, e := range entries {
 		name := e.Name()
 		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, ".bin") {
 			continue
 		}
 		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), ".bin"), 10, 64)
-		if perr != nil || n >= keep {
-			continue
+		if perr != nil {
+			return nil, fmt.Errorf("multiem: wal dir: unparseable snapshot name %q", name)
 		}
-		if err := os.Remove(filepath.Join(dir, name)); err != nil {
-			errs = append(errs, err)
-		}
+		seqs = append(seqs, n)
 	}
-	return errors.Join(errs...)
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives power loss;

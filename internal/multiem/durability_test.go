@@ -332,7 +332,8 @@ func TestSnapshotTruncatesLogs(t *testing.T) {
 		t.Fatalf("sequence bookkeeping off: %+v (snapshot seq %d)", after, seq1)
 	}
 
-	// A second snapshot replaces the first on disk.
+	// Retention keeps the newest SnapshotKeep (default 2) checkpoints: a
+	// second snapshot leaves both, a third rolls the oldest off.
 	if _, err := live.AddRecords([][]string{{"one more", "1.0", "1.0"}}); err != nil {
 		t.Fatal(err)
 	}
@@ -343,12 +344,18 @@ func TestSnapshotTruncatesLogs(t *testing.T) {
 	if seq2 != seq1+1 {
 		t.Fatalf("snapshot seqs: %d then %d", seq1, seq2)
 	}
-	snaps, err := filepath.Glob(filepath.Join(dir, snapshotPrefix+"*.bin"))
+	if seqs, err := ListSnapshots(dir); err != nil || !reflect.DeepEqual(seqs, []uint64{seq1, seq2}) {
+		t.Fatalf("snapshots after second checkpoint: %v (err %v), want [%d %d]", seqs, err, seq1, seq2)
+	}
+	if _, err := live.AddRecords([][]string{{"and another", "2.0", "2.0"}}); err != nil {
+		t.Fatal(err)
+	}
+	seq3, err := live.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(snaps) != 1 || snaps[0] != snapshotPath(dir, seq2) {
-		t.Fatalf("snapshot files after second checkpoint: %v", snaps)
+	if seqs, err := ListSnapshots(dir); err != nil || !reflect.DeepEqual(seqs, []uint64{seq2, seq3}) {
+		t.Fatalf("snapshots after third checkpoint: %v (err %v), want [%d %d]", seqs, err, seq2, seq3)
 	}
 	live.CloseWAL()
 

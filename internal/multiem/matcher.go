@@ -167,10 +167,18 @@ type Matcher struct {
 	nextID int
 	result *Result // pipeline output; nil when loaded from disk
 	// wal is the attached durability state (per-shard logs + snapshotter),
-	// or nil when the matcher runs in-memory only. Set once by
-	// RecoverMatcher before the matcher is shared, never reassigned.
+	// or nil when the matcher runs in-memory only. Set by RecoverMatcher
+	// before the matcher is shared, or by Replicator.Promote under addMu.
 	wal *walState
+	// readOnly fences AddRecords while the matcher is a replication
+	// follower: reads serve normally, writes fail with ErrReadOnly until
+	// promotion clears the fence.
+	readOnly atomic.Bool
 }
+
+// ErrReadOnly is returned by AddRecords while the matcher is a replication
+// follower; the serving layer maps it to 503 + a primary hint.
+var ErrReadOnly = errors.New("multiem: matcher is a read-only replica")
 
 // matcherView is one epoch's complete serving state: an immutable shardView
 // per shard plus the matcher-level fields a consistent snapshot needs. A
@@ -600,6 +608,9 @@ type batchTuple struct {
 // the logs are also fsynced before the apply, so an acknowledged batch
 // survives power loss.
 func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
+	if m.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
 	for i, values := range rows {
 		if err := m.checkArity(values, i); err != nil {
 			return nil, err
@@ -607,18 +618,36 @@ func (m *Matcher) AddRecords(rows [][]string) ([]AddResult, error) {
 	}
 	m.addMu.Lock()
 	defer m.addMu.Unlock()
-	return m.addBatchLocked(rows, true)
+	return m.addBatchLocked(rows, batchIngest)
 }
+
+// batchMode selects which side effects accompany one batch application. The
+// decision phases are identical in every mode — that is what keeps a
+// recovered or replicated matcher bit-identical to the one that ingested
+// the batch originally.
+type batchMode int
+
+const (
+	// batchIngest is live ingestion: write-ahead log the batch, apply it
+	// copy-on-write, and publish the new views.
+	batchIngest batchMode = iota
+	// batchRecover is startup WAL replay: no logging (the records are being
+	// read back), and no per-batch views — no reader exists until
+	// RecoverMatcher returns, so building a full copy-on-write view per
+	// replayed batch (tuple-table copy + links-arena clone, immediately
+	// superseded by the next batch) would make recovery cost
+	// O(batches × live state); the replay caller publishes once at the end.
+	batchRecover
+	// batchReplicate is a follower applying a shipped batch: no logging
+	// (the mirrored segments already hold the records), but full
+	// copy-on-write and publish — the follower is serving reads the whole
+	// time, so every batch must commit atomically under pinned views.
+	batchReplicate
+)
 
 // addBatchLocked is the batch ingest body: decisions, optional WAL append,
 // and the per-shard apply. The caller holds addMu and has validated arity.
-// durable=false is the WAL replay path, which must reproduce the original
-// ingestion exactly without logging it again — and without publishing views:
-// no reader exists until RecoverMatcher returns, so building a full
-// copy-on-write view per replayed batch (tuple-table copy + links-arena
-// clone, immediately superseded by the next batch) would make recovery cost
-// O(batches × live state); the replay caller publishes once at the end.
-func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, error) {
+func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, error) {
 	// An empty batch must return before the WAL append: it would write no
 	// log records, and burning a sequence number with nothing to replay
 	// would leave a permanent hole that stops recovery at that seq.
@@ -716,7 +745,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 	// Write-ahead: the batch goes to the per-shard logs (and, under fsync
 	// "always", to stable storage) before any shard state changes. A failed
 	// append rejects the batch with the state untouched.
-	if durable && m.wal != nil {
+	if mode == batchIngest && m.wal != nil {
 		if err := m.walAppendBatch(rows, perShard); err != nil {
 			return nil, err
 		}
@@ -742,7 +771,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 		// new arena rows instead of overwriting published ones. The replay
 		// path skips the copy along with the views: nothing can be pinned
 		// before RecoverMatcher publishes, so mutating in place is safe.
-		if durable {
+		if mode != batchRecover {
 			work := make([]tupleState, len(sh.tuples), len(sh.tuples)+len(rowIdx))
 			copy(work, sh.tuples)
 			sh.tuples = work
@@ -812,13 +841,13 @@ func (m *Matcher) addBatchLocked(rows [][]string, durable bool) ([]AddResult, er
 			sh.index.Add(local, sh.centroids.At(row))
 		}
 		compactErrs[s] = sh.maybeCompact(m.shardHNSWConfig(s), m.dim)
-		if durable {
+		if mode != batchRecover {
 			views[s] = sh.view()
 		}
 	})
 	// One atomic swap installs every touched shard's new view and advances
 	// the epoch: readers see the whole batch or none of it.
-	if durable {
+	if mode != batchRecover {
 		m.commit(views)
 	}
 	if err := errors.Join(compactErrs...); err != nil {

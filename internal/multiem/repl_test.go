@@ -1,0 +1,308 @@
+package multiem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// mirrorShardLogs copies the primary's live segment files byte-for-byte into
+// mirrorDir with the same layout, through the chunked replication read path
+// (Segments + ReadSegmentAt), exactly as the HTTP follower does.
+func mirrorShardLogs(t *testing.T, primary *Matcher, mirrorDir string) {
+	t.Helper()
+	for s := 0; s < primary.Shards(); s++ {
+		l := primary.ShardLog(s)
+		if l == nil {
+			t.Fatalf("shard %d: no log", s)
+		}
+		dst := ShardLogDir(mirrorDir, s)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := l.Segments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range segs {
+			var data []byte
+			for off := int64(0); off < seg.Bytes; {
+				buf, _, err := l.ReadSegmentAt(seg.Index, off, 512)
+				if err != nil {
+					t.Fatalf("shard %d segment %d: %v", s, seg.Index, err)
+				}
+				data = append(data, buf...)
+				off += int64(len(buf))
+			}
+			if err := os.WriteFile(wal.SegmentFile(dst, seg.Index), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// scanMirror collects every record payload per shard from a mirror directory.
+func scanMirror(t *testing.T, mirrorDir string, shards int) [][][]byte {
+	t.Helper()
+	out := make([][][]byte, shards)
+	for s := 0; s < shards; s++ {
+		entries, err := os.ReadDir(ShardLogDir(mirrorDir, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			path := ShardLogDir(mirrorDir, s) + "/" + e.Name()
+			_, tail, err := wal.ScanRecords(path, 0, func(p []byte) error {
+				out[s] = append(out[s], append([]byte(nil), p...))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("shard %d %s: %v", s, e.Name(), err)
+			}
+			if tail != wal.TailClean {
+				t.Fatalf("shard %d %s: tail %v on a quiesced mirror", s, e.Name(), tail)
+			}
+		}
+	}
+	return out
+}
+
+// TestReplicationProperty is the headline replication correctness claim:
+// a follower bootstrapped from the primary's snapshot and fed the shipped
+// WAL stream is bit-identical (Save bytes) to the primary at every covered
+// sequence, across shard counts and fsync policies — and after promotion it
+// is a fully functional primary whose directory recovers like any other.
+func TestReplicationProperty(t *testing.T) {
+	d := smallGeo(t)
+	for _, shards := range []int{1, 4} {
+		for _, fsync := range []string{"always", "interval", "off"} {
+			t.Run(fmt.Sprintf("shards=%d/fsync=%s", shards, fsync), func(t *testing.T) {
+				primDir := t.TempDir()
+				cfg := WALConfig{Dir: primDir, Fsync: fsync, FsyncInterval: 5 * time.Millisecond, SegmentMaxBytes: 1 << 10}
+				primary, err := RecoverMatcher(cfg, durOpts(shards), baseLoader(t, d, shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer primary.CloseWAL()
+
+				// Ingest, snapshotting midway so the follower bootstraps from a
+				// non-trivial snapshot; capture Save bytes after every batch.
+				batches := randomBatches(d, 6, 6, 7)
+				states := make(map[uint64][]byte) // seq of last applied batch -> Save bytes
+				for i, rows := range batches {
+					if _, err := primary.AddRecords(rows); err != nil {
+						t.Fatal(err)
+					}
+					states[uint64(i)] = saveBytes(t, primary)
+					if i == 1 {
+						if _, err := primary.Snapshot(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+
+				// Bootstrap the follower from the newest snapshot.
+				snapPath, snapSeq, ok, err := LatestSnapshot(primDir)
+				if err != nil || !ok {
+					t.Fatalf("no snapshot: %v", err)
+				}
+				f, err := os.Open(snapPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				follower, err := LoadMatcher(f, durOpts(shards))
+				f.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := saveBytes(t, follower); !bytes.Equal(got, states[snapSeq-1]) {
+					t.Fatalf("snapshot at seq %d does not match the primary state it covers", snapSeq)
+				}
+				r := NewReplicator(follower, snapSeq)
+				if _, err := follower.AddRecords(batches[0]); !errors.Is(err, ErrReadOnly) {
+					t.Fatalf("follower AddRecords: %v, want ErrReadOnly", err)
+				}
+
+				// Ship the stream and feed it one record at a time, round-robin
+				// across shards; at every applied sequence the follower's Save
+				// bytes must equal the primary's at that same sequence.
+				mirrorDir := t.TempDir()
+				mirrorShardLogs(t, primary, mirrorDir)
+				perShard := scanMirror(t, mirrorDir, shards)
+				covered := 0
+				for remaining := true; remaining; {
+					remaining = false
+					for s := range perShard {
+						if len(perShard[s]) == 0 {
+							continue
+						}
+						remaining = true
+						before := r.NextSeq()
+						if err := r.Offer(perShard[s][0]); err != nil {
+							t.Fatal(err)
+						}
+						perShard[s] = perShard[s][1:]
+						if _, err := r.ApplyReady(); err != nil {
+							t.Fatal(err)
+						}
+						for seq := before; seq < r.NextSeq(); seq++ {
+							if !bytes.Equal(saveBytes(t, follower), states[seq]) {
+								t.Fatalf("follower diverges from primary at seq %d", seq)
+							}
+							covered++
+						}
+					}
+				}
+				if want := uint64(len(batches)); r.NextSeq() != want {
+					t.Fatalf("follower applied through seq %d, want %d", r.NextSeq(), want)
+				}
+				if covered < len(batches)-2 {
+					t.Fatalf("only %d sequences were covered by the per-seq check", covered)
+				}
+
+				// Promote: the mirror becomes a live durability directory, the
+				// fence lifts, and the promoted matcher ingests like any primary.
+				if err := r.Promote(WALConfig{Dir: mirrorDir, Fsync: fsync, FsyncInterval: 5 * time.Millisecond, SegmentMaxBytes: 1 << 10}); err != nil {
+					t.Fatal(err)
+				}
+				defer follower.CloseWAL()
+				assertMatchersIdentical(t, primary, follower, d)
+
+				// The promoted directory recovers exactly like one written by a
+				// primary from birth — bit-identical after a "crash".
+				post := randomBatches(d, 2, 5, 99)
+				for _, rows := range post {
+					if _, err := follower.AddRecords(rows); err != nil {
+						t.Fatal(err)
+					}
+				}
+				recovered, err := RecoverMatcher(WALConfig{Dir: mirrorDir, Fsync: fsync}, durOpts(shards), func() (*Matcher, error) {
+					return nil, errors.New("base must not be rebuilt: the promoted dir has a snapshot")
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer recovered.CloseWAL()
+				if !bytes.Equal(saveBytes(t, recovered), saveBytes(t, follower)) {
+					t.Fatal("recovery from the promoted directory diverges from the promoted matcher")
+				}
+			})
+		}
+	}
+}
+
+// TestPromotionDropsIncompleteBatch covers the failover edge the fencing
+// design exists for: the primary dies after writing the final batch's
+// records to only some shard logs. The follower must stop before the
+// incomplete batch, promote to the last complete sequence, and truncate the
+// partial records away so their sequence numbers can be reused safely.
+func TestPromotionDropsIncompleteBatch(t *testing.T) {
+	d := smallGeo(t)
+	const shards = 4
+	primDir := t.TempDir()
+	cfg := WALConfig{Dir: primDir, Fsync: "off"}
+	primary, err := RecoverMatcher(cfg, durOpts(shards), baseLoader(t, d, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.CloseWAL()
+	if _, err := primary.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	batches := randomBatches(d, 4, 6, 13)
+	states := make(map[uint64][]byte)
+	for i, rows := range batches {
+		if _, err := primary.AddRecords(rows); err != nil {
+			t.Fatal(err)
+		}
+		states[uint64(i)] = saveBytes(t, primary)
+	}
+
+	snapPath, snapSeq, ok, err := LatestSnapshot(primDir)
+	if err != nil || !ok {
+		t.Fatalf("no snapshot: %v", err)
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := LoadMatcher(f, durOpts(shards))
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(follower, snapSeq)
+
+	mirrorDir := t.TempDir()
+	mirrorShardLogs(t, primary, mirrorDir)
+	perShard := scanMirror(t, mirrorDir, shards)
+	// Withhold every record of the final batch — as if the primary died
+	// before those appends reached the follower.
+	last := uint64(len(batches) - 1)
+	withheld := 0
+	for s := range perShard {
+		kept := perShard[s][:0]
+		for _, p := range perShard[s] {
+			seq, _, _, _, err := decodeBatchRecord(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq == last {
+				withheld++
+				continue
+			}
+			kept = append(kept, p)
+		}
+		perShard[s] = kept
+	}
+	if withheld == 0 {
+		t.Fatal("final batch wrote no records; test needs a non-empty batch")
+	}
+	for s := range perShard {
+		for _, p := range perShard[s] {
+			if err := r.Offer(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := r.ApplyReady(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NextSeq() != last {
+		t.Fatalf("follower applied through %d, want stop at %d", r.NextSeq(), last)
+	}
+
+	// Simulate partial delivery bytes sitting in the mirror: the shipped
+	// files still hold the final batch's records (mirrorShardLogs copied
+	// them); promotion must checkpoint past them so seq reuse is safe.
+	if err := r.Promote(WALConfig{Dir: mirrorDir, Fsync: "off"}); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.CloseWAL()
+	if !bytes.Equal(saveBytes(t, follower), states[last-1]) {
+		t.Fatal("promoted state does not match the last complete sequence")
+	}
+
+	// The reused sequence numbers must not collide with the stale records:
+	// ingest on the promoted primary, then recover its directory.
+	for _, rows := range randomBatches(d, 2, 5, 21) {
+		if _, err := follower.AddRecords(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered, err := RecoverMatcher(WALConfig{Dir: mirrorDir, Fsync: "off"}, durOpts(shards), func() (*Matcher, error) {
+		return nil, errors.New("base must not be rebuilt")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.CloseWAL()
+	if !bytes.Equal(saveBytes(t, recovered), saveBytes(t, follower)) {
+		t.Fatal("recovery after promotion diverges")
+	}
+}

@@ -120,6 +120,13 @@ type segment struct {
 	index int64
 	path  string
 	bytes int64
+	// fence is the byte offset known to end on a whole-record boundary, or
+	// -1 when it has not been established yet. While the writer is attached
+	// (every appended record is flushed whole before Append returns) the
+	// fence equals bytes; for the final segment of a just-opened log the file
+	// may end in a torn record, so the fence is computed by scanning once and
+	// cached until the first append truncates the tear.
+	fence int64
 }
 
 // Log is one append-only record log in its own directory. All methods are
@@ -175,7 +182,7 @@ func scanSegments(dir string) ([]segment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("wal: scan: %w", err)
 		}
-		segs = append(segs, segment{index: idx, path: filepath.Join(dir, name), bytes: info.Size()})
+		segs = append(segs, segment{index: idx, path: filepath.Join(dir, name), bytes: info.Size(), fence: -1})
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
 	return segs, nil
@@ -184,6 +191,15 @@ func scanSegments(dir string) ([]segment, error) {
 func segPath(dir string, index int64) string {
 	return filepath.Join(dir, fmt.Sprintf("seg-%016d.wal", index))
 }
+
+// SegmentFile names segment index's file under a log directory; exported so
+// replication mirrors lay their copies out exactly like the source log.
+func SegmentFile(dir string, index int64) string { return segPath(dir, index) }
+
+// CRC computes the checksum the log frames use (CRC-32C, Castagnoli) over b;
+// exported so the replication layer integrity-checks whole mirrored files
+// with the same polynomial.
+func CRC(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
 
 // Append frames payload and writes it to the active segment, rotating first
 // when the segment is full. The record is flushed to the OS before Append
@@ -220,6 +236,7 @@ func (l *Log) Append(payload []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	active.bytes += frameHeaderLen + int64(len(payload))
+	active.fence = active.bytes
 	l.appends++
 	return nil
 }
@@ -272,6 +289,7 @@ func (l *Log) ensureWritableLocked() error {
 		}
 		seg.bytes = valid
 	}
+	seg.fence = seg.bytes
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: open segment: %w", err)
@@ -292,6 +310,7 @@ func (l *Log) ensureWritableLocked() error {
 			return fmt.Errorf("wal: repair segment header: %w", err)
 		}
 		seg.bytes = int64(len(segMagic))
+		seg.fence = seg.bytes
 	}
 	return nil
 }
@@ -312,7 +331,7 @@ func (l *Log) createSegmentLocked(index int64) error {
 		f.Close()
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
-	l.segments = append(l.segments, segment{index: index, path: path, bytes: int64(len(segMagic))})
+	l.segments = append(l.segments, segment{index: index, path: path, bytes: int64(len(segMagic)), fence: int64(len(segMagic))})
 	l.f, l.w = f, w
 	return nil
 }
@@ -382,6 +401,204 @@ func (l *Log) DropSegmentsThrough(through int64) error {
 	return nil
 }
 
+// SegmentInfo describes one segment file to a replication reader: its index,
+// its fenced size (bytes guaranteed to end on a whole-record boundary), and
+// whether it is sealed (rotated away and so will never grow again).
+type SegmentInfo struct {
+	// Index is the segment number (the NNN of seg-NNN.wal).
+	Index int64 `json:"index"`
+	// Bytes is the fenced size: a reader that stays below it sees only whole
+	// records, never a torn tail, even while the segment is being appended.
+	Bytes int64 `json:"bytes"`
+	// Sealed is true for every segment but the active one.
+	Sealed bool `json:"sealed"`
+}
+
+// Segments lists the live segments oldest-first with their fenced sizes.
+// Replication primaries publish this as (part of) their manifest.
+func (l *Log) Segments() ([]SegmentInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, len(l.segments))
+	for i := range l.segments {
+		fence, err := l.fenceLocked(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = SegmentInfo{Index: l.segments[i].index, Bytes: fence, Sealed: i < len(l.segments)-1}
+	}
+	return out, nil
+}
+
+// fenceLocked resolves segment i's whole-record fence. Sealed segments and a
+// writer-attached active segment are fenced at their tracked size (every
+// record is flushed whole under the append lock); the final segment of a log
+// that has not been written since Open may carry a crash's torn tail, so its
+// fence is established by a one-time scan and cached.
+func (l *Log) fenceLocked(i int) (int64, error) {
+	seg := &l.segments[i]
+	if i < len(l.segments)-1 || l.f != nil {
+		return seg.bytes, nil
+	}
+	if seg.fence < 0 {
+		valid, err := validSegmentSize(seg.path)
+		if err != nil {
+			return 0, err
+		}
+		seg.fence = valid
+	}
+	return seg.fence, nil
+}
+
+// ErrNoSegment reports a read of a segment the log no longer has (typically
+// dropped by a checkpoint after the reader fetched the manifest).
+var ErrNoSegment = errors.New("wal: no such segment")
+
+// ErrPastFence reports a read offset beyond a segment's whole-record fence —
+// the reader believes the segment is longer than the log does, which means
+// the two have diverged (e.g. the primary lost unsynced bytes to a power
+// failure) and the reader must resynchronize from a snapshot.
+var ErrPastFence = errors.New("wal: read offset past segment fence")
+
+// ReadSegmentAt returns up to max raw bytes of the given segment starting at
+// byte offset off, never crossing the whole-record fence — so a reader
+// chasing the active segment can never observe a torn record as damage. The
+// returned SegmentInfo carries the fence at read time; an empty slice with
+// off == info.Bytes means "caught up, poll again".
+func (l *Log) ReadSegmentAt(index, off int64, max int) ([]byte, SegmentInfo, error) {
+	if max <= 0 || off < 0 {
+		return nil, SegmentInfo{}, fmt.Errorf("wal: read segment %d: bad offset %d / max %d", index, off, max)
+	}
+	l.mu.Lock()
+	var info SegmentInfo
+	var path string
+	found := false
+	for i := range l.segments {
+		if l.segments[i].index != index {
+			continue
+		}
+		fence, err := l.fenceLocked(i)
+		if err != nil {
+			l.mu.Unlock()
+			return nil, SegmentInfo{}, err
+		}
+		info = SegmentInfo{Index: index, Bytes: fence, Sealed: i < len(l.segments)-1}
+		path = l.segments[i].path
+		found = true
+		break
+	}
+	l.mu.Unlock()
+	if !found {
+		return nil, SegmentInfo{}, fmt.Errorf("%w: segment %d", ErrNoSegment, index)
+	}
+	if off > info.Bytes {
+		return nil, info, fmt.Errorf("%w: segment %d, offset %d, fence %d", ErrPastFence, index, off, info.Bytes)
+	}
+	if off == info.Bytes {
+		return nil, info, nil
+	}
+	n := info.Bytes - off
+	if int64(max) < n {
+		n = int64(max)
+	}
+	// Read without the lock: bytes below the fence are immutable (appends
+	// only extend the file, truncation only removes bytes past the fence).
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, info, fmt.Errorf("wal: read segment %d: %w", index, err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, info, fmt.Errorf("wal: read segment %d: %w", index, err)
+	}
+	return buf, info, nil
+}
+
+// TailState classifies what ScanRecords found past the last whole record.
+type TailState int
+
+const (
+	// TailClean: the scan ended exactly on a record boundary.
+	TailClean TailState = iota
+	// TailPartial: a record frame has started but its bytes are not all
+	// there yet. For a reader chasing a growing file this means "wait for
+	// more"; after a crash it is a torn tail to truncate at the returned
+	// offset.
+	TailPartial
+	// TailInvalid: a complete frame is present but damaged (insane length or
+	// checksum mismatch). No future append can repair it — this is
+	// corruption, not a tail still being written.
+	TailInvalid
+)
+
+// ScanRecords streams the whole records of one segment file to fn, starting
+// at byte offset off (use 0 to start at the segment header) and stopping at
+// the first incomplete or invalid frame. It returns the offset just past the
+// last whole record consumed and the state of whatever follows it, so an
+// incremental reader — a replication follower chasing a mirrored segment —
+// can resume exactly where it left off and distinguish "more bytes coming"
+// (TailPartial) from real damage (TailInvalid). fn's error stops the scan
+// verbatim; fn may be nil to only classify.
+func ScanRecords(path string, off int64, fn func(payload []byte) error) (next int64, tail TailState, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return off, TailClean, fmt.Errorf("wal: scan records: %w", err)
+	}
+	defer f.Close()
+	if off == 0 {
+		var mg [8]byte
+		switch n, err := io.ReadFull(f, mg[:]); {
+		case err == io.EOF || err == io.ErrUnexpectedEOF:
+			_ = n
+			return 0, TailPartial, nil // header not fully written yet
+		case err != nil:
+			return 0, TailClean, fmt.Errorf("wal: scan records: %w", err)
+		case mg != segMagic:
+			return 0, TailInvalid, fmt.Errorf("wal: segment %s: bad magic %q", filepath.Base(path), mg[:])
+		}
+		off = int64(len(segMagic))
+	} else if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return off, TailClean, fmt.Errorf("wal: scan records: %w", err)
+	}
+	br := bufio.NewReader(f)
+	var hdr [frameHeaderLen]byte
+	var buf []byte
+	for {
+		switch _, err := io.ReadFull(br, hdr[:]); {
+		case err == io.EOF:
+			return off, TailClean, nil
+		case err == io.ErrUnexpectedEOF:
+			return off, TailPartial, nil
+		case err != nil:
+			return off, TailClean, fmt.Errorf("wal: scan records: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if int64(n) > maxRecordBytes {
+			return off, TailInvalid, fmt.Errorf("wal: segment %s: record length %d exceeds limit at offset %d", filepath.Base(path), n, off)
+		}
+		if int(n) > len(buf) {
+			buf = make([]byte, n)
+		}
+		switch _, err := io.ReadFull(br, buf[:n]); {
+		case err == io.EOF || err == io.ErrUnexpectedEOF:
+			return off, TailPartial, nil
+		case err != nil:
+			return off, TailClean, fmt.Errorf("wal: scan records: %w", err)
+		}
+		if crc32.Checksum(buf[:n], crcTable) != want {
+			return off, TailInvalid, fmt.Errorf("wal: segment %s: checksum mismatch at offset %d", filepath.Base(path), off)
+		}
+		if fn != nil {
+			if err := fn(buf[:n]); err != nil {
+				return off, TailClean, err
+			}
+		}
+		off += frameHeaderLen + int64(n)
+	}
+}
+
 // Stats reports the log's current size counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
@@ -437,42 +654,16 @@ func (l *Log) Replay(fn func(payload []byte) error) error {
 // validSegmentSize scans a segment and returns the byte offset just past the
 // last whole record (0 for a file whose magic is itself partial).
 func validSegmentSize(path string) (int64, error) {
-	f, err := os.Open(path)
+	next, tail, err := ScanRecords(path, 0, nil)
 	if err != nil {
-		return 0, fmt.Errorf("wal: scan segment: %w", err)
+		// A damaged frame past a valid prefix just bounds the prefix here;
+		// only "nothing valid at all" (bad magic, unreadable file) is fatal.
+		if tail == TailInvalid && next > 0 {
+			return next, nil
+		}
+		return 0, err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	var mg [8]byte
-	if _, err := io.ReadFull(br, mg[:]); err != nil {
-		return 0, nil // even the magic is partial: nothing valid
-	}
-	if mg != segMagic {
-		return 0, fmt.Errorf("wal: segment %s: bad magic %q", filepath.Base(path), mg[:])
-	}
-	valid := int64(len(segMagic))
-	var hdr [frameHeaderLen]byte
-	buf := make([]byte, 4096)
-	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return valid, nil
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:])
-		want := binary.LittleEndian.Uint32(hdr[4:])
-		if int64(n) > maxRecordBytes {
-			return valid, nil
-		}
-		if int(n) > len(buf) {
-			buf = make([]byte, n)
-		}
-		if _, err := io.ReadFull(br, buf[:n]); err != nil {
-			return valid, nil
-		}
-		if crc32.Checksum(buf[:n], crcTable) != want {
-			return valid, nil
-		}
-		valid += frameHeaderLen + int64(n)
-	}
+	return next, nil
 }
 
 // replaySegment streams one segment's records to fn (fn may be nil to only

@@ -86,6 +86,10 @@ type (
 	WALStats = multiem.WALStats
 )
 
+// ErrReadOnly is returned by AddRecords on a replication follower: writes
+// must go to the primary until the follower is promoted.
+var ErrReadOnly = multiem.ErrReadOnly
+
 // Evaluation.
 type (
 	// Report bundles tuple-level metrics and pair-F1.
