@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race race-matcher crash-recovery failover-smoke bench bench-smoke bench-json load-smoke load-sweep
+.PHONY: all build vet fmt test test-scalar race race-matcher crash-recovery failover-smoke bench bench-smoke bench-json load-smoke load-sweep
 
 all: build vet test
 
@@ -19,6 +19,11 @@ fmt:
 
 test:
 	$(GO) test ./...
+
+# Same suite forced onto the portable scalar distance kernels, so the
+# non-AVX2 dispatch path stays green on AVX2 CI runners.
+test-scalar:
+	VECTOR_KERNELS=scalar $(GO) test ./...
 
 race:
 	$(GO) test -race -timeout 25m ./...
@@ -63,23 +68,24 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Tier-1 benches -> BENCH_PR6.json "current" suite. The frozen "baseline"
+# Tier-1 benches -> BENCH_PR8.json "current" suite. The frozen "baseline"
 # suite is kept; when the file has none yet it is seeded from the previous
 # PR's "current" (BENCH_BASE), which is how the measured trajectory chains
-# across PRs. BENCH_REGRESS > 0 turns benchjson into a gate that exits
-# non-zero when any benchmark's ns/op regressed past that percentage vs the
-# baseline (CI runs it informationally, continue-on-error). CI uploads the
-# file as an artifact; see docs/BENCHMARKING.md for the format.
-BENCH_JSON ?= BENCH_PR6.json
-BENCH_BASE ?= BENCH_PR5.json
+# across PRs (PR 7 shipped no bench file, so PR 8 chains from PR 6; see
+# docs/BENCHMARKING.md). BENCH_REGRESS > 0 turns benchjson into a gate that
+# exits non-zero when any benchmark's ns/op regressed past that percentage
+# vs the baseline (CI runs it informationally, continue-on-error). CI
+# uploads the file as an artifact; see docs/BENCHMARKING.md for the format.
+BENCH_JSON ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR6.json
 BENCH_REGRESS ?= 0
 bench-json:
 	@rm -f .bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkTable4_MultiEM' -benchmem -count=1 . >> .bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkMatcher|BenchmarkSnapshotStall' -benchmem -count=1 . >> .bench.out
-	$(GO) test -run='^$$' -bench='Build1k|Search10k' -benchmem -count=1 ./internal/hnsw >> .bench.out
+	$(GO) test -run='^$$' -bench='Build1k|Search10k|SearchBatched' -benchmem -count=1 ./internal/hnsw >> .bench.out
 	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
 	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
-	$(GO) run ./cmd/benchjson -pr 6 -desc 'Open-loop load harness + /stats endpoint latency summaries; matcher path unchanged, so current should track the PR 5 baseline' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
+	$(GO) run ./cmd/benchjson -pr 8 -desc 'AVX2/FMA SIMD distance kernels with runtime dispatch + batched one-query×N-rows kernels under HNSW expansion, brute force, and the matcher re-rank' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
 	@rm -f .bench.out
 	@echo "wrote $(BENCH_JSON)"

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/loadgen"
+	"repro/internal/vector"
 )
 
 func main() {
@@ -69,10 +70,21 @@ func main() {
 		serverBin  = flag.String("server-bin", "", "server binary for sweep mode (restarted per configuration point)")
 		serverArgs = flag.String("server-args", "", "base arguments passed to -server-bin (split on spaces)")
 		csvOut     = flag.String("csv", "sweep.csv", "sweep mode: CSV output path (one row per configuration point)")
+		kernels    = flag.String("kernels", "", "distance kernel path for sweep-spawned servers: auto | scalar | avx2 (exported as VECTOR_KERNELS)")
 	)
 	var sweeps sweepFlags
 	flag.Var(&sweeps, "sweep", "sweep axis as name=v1,v2,... or name=a..b (repeatable; axes: shards, fsync, efsearch, rate, batch, zipf)")
 	flag.Parse()
+
+	if *kernels != "" {
+		// Validate locally, then export: sweep-mode server children inherit
+		// the environment, so every spawned point runs the requested path.
+		if err := vector.SetKernels(*kernels); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		os.Setenv("VECTOR_KERNELS", *kernels)
+	}
 
 	base := trialParams{
 		rate:       *rate,

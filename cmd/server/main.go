@@ -42,6 +42,7 @@ import (
 
 	"repro"
 	"repro/internal/repl"
+	"repro/internal/vector"
 )
 
 func main() {
@@ -71,8 +72,17 @@ func main() {
 		followPoll   = flag.Duration("follow-poll", 250*time.Millisecond, "follower steady-state fetch interval")
 		promoteAfter = flag.Duration("promote-after", 0, "follower self-promotes after the primary is unreachable this long (0 = manual /promote only)")
 		warmupK      = flag.Int("warmup", 8, "probe matches run before /readyz flips after recovery, bootstrap, or promotion (0 disables)")
+
+		kernels = flag.String("kernels", "", "distance kernel path: auto | scalar | avx2 (default auto; VECTOR_KERNELS env is the fallback)")
 	)
 	flag.Parse()
+
+	if *kernels != "" {
+		if err := vector.SetKernels(*kernels); err != nil {
+			log.Fatalf("server: %v", err)
+		}
+	}
+	log.Printf("distance kernels: %s", vector.Kernels())
 
 	opt := repro.DefaultOptions()
 	opt.K = *k

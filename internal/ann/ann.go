@@ -65,17 +65,29 @@ func BruteForceBuilder(metric vector.Metric) Builder {
 	}
 }
 
-// Search implements Index by scanning the arena with a kernel bound to q
-// once for the whole sweep.
+// Search implements Index by scanning the arena with a batched kernel bound
+// to q once for the whole sweep: rows are scored a fixed-size chunk at a
+// time (stack scratch, no allocation) and only the chunk minima pass through
+// the top-K heap's comparison.
 func (b *BruteForce) Search(q []float32, k, _ int) []vector.Neighbor {
 	if k <= 0 || b.Len() == 0 {
 		return nil
 	}
-	qf := b.metric.QueryFunc(q)
+	qb := b.metric.QueryBatchFunc(q)
 	tk := vector.NewTopK(k)
+	raw, d := b.vecs.Raw(), b.vecs.Dim()
 	n := b.vecs.Len()
-	for i := 0; i < n; i++ {
-		tk.Push(i, qf(b.vecs.At(i)))
+	var buf [256]float32
+	for start := 0; start < n; start += len(buf) {
+		m := n - start
+		if m > len(buf) {
+			m = len(buf)
+		}
+		dists := buf[:m]
+		qb(raw[start*d:], d, nil, dists)
+		for j, dist := range dists {
+			tk.Push(start+j, dist)
+		}
 	}
 	res := tk.Results()
 	for i := range res {

@@ -114,12 +114,25 @@ type Index struct {
 }
 
 // searchCtx bundles the per-search working set — visited marks, frontier,
-// result accumulator, output buffer — so one pool hit covers all of them.
+// result accumulator, output buffer, and the unvisited-candidate/distance
+// scratch for batched neighbour expansion — so one pool hit covers all of
+// them.
 type searchCtx struct {
 	visit    visitSet
 	frontier vector.MinHeap
 	best     vector.TopK
 	out      []vector.Neighbor
+	cands    []int32
+	dists    []float32
+}
+
+// distBuf returns an n-sized distance scratch, growing the backing array
+// geometrically so steady-state searches never allocate.
+func (ctx *searchCtx) distBuf(n int) []float32 {
+	if cap(ctx.dists) < n {
+		ctx.dists = make([]float32, max(n, 2*cap(ctx.dists)))
+	}
+	return ctx.dists[:n]
 }
 
 // New creates an empty index for vectors of the given dimensionality.
@@ -245,13 +258,14 @@ func (ix *Index) Add(id int, vec []float32) error {
 	// beam searches share one query-specialized kernel (for cosine, the
 	// query norm is computed once here, not once per distance call).
 	qd := ix.queryDist(q)
+	qb := ix.queryDistBatch(q)
 	// Greedy descent through layers above the new node's level.
 	for l := ix.maxL; l > level; l-- {
-		ep = ix.greedyClosest(qd, ep, l)
+		ep = ix.greedyClosest(qd, qb, ep, l, ix.buildCtx)
 	}
 	// Beam search + heuristic linking at each layer <= level.
 	for l := min(level, ix.maxL); l >= 0; l-- {
-		cands := ix.searchLayer(qd, ep, ix.cfg.EfConstruction, l, ix.buildCtx)
+		cands := ix.searchLayer(qd, qb, ep, ix.cfg.EfConstruction, l, ix.buildCtx)
 		selected := ix.selectHeuristic(cands, ix.cfg.M, &ix.selScratch)
 		for _, s := range selected {
 			// s.Dist is dist(new, s); the metric is symmetric, so the
@@ -348,6 +362,55 @@ func (ix *Index) queryDist(q []float32) func(int) float32 {
 	}
 }
 
+// batchDist evaluates a bound query against many node indexes at once,
+// writing dists[j] for node idxs[j].
+type batchDist func(idxs []int32, dists []float32)
+
+// queryDistBatch is the batched companion of queryDist: one call scores a
+// whole neighbour block against the bound query through the vector gather
+// kernels, amortizing closure and bounds-check overhead that queryDist pays
+// per node. dists[j] is bit-identical to queryDist(q)(idxs[j]) on the same
+// kernel path. The arena is re-read on every call, so the kernel stays valid
+// across Appends by the same goroutine.
+func (ix *Index) queryDistBatch(q []float32) batchDist {
+	switch {
+	case ix.cosNorms != nil:
+		qn := math.Sqrt(float64(vector.Dot(q, q)))
+		return func(idxs []int32, dists []float32) {
+			vector.DotGather(q, ix.vecs.Raw(), ix.dim, idxs, dists)
+			for j, i := range idxs {
+				ni := ix.cosNorms[i]
+				if qn == 0 || ni == 0 {
+					dists[j] = 1
+					continue
+				}
+				dists[j] = 1 - dists[j]/float32(qn*ni)
+			}
+		}
+	case ix.cfg.Metric == vector.CosineUnit:
+		return func(idxs []int32, dists []float32) {
+			vector.DotGather(q, ix.vecs.Raw(), ix.dim, idxs, dists)
+			for j := range dists {
+				dists[j] = 1 - dists[j]
+			}
+		}
+	case ix.cfg.Metric == vector.Euclidean:
+		return func(idxs []int32, dists []float32) {
+			vector.SquaredDistGather(q, ix.vecs.Raw(), ix.dim, idxs, dists)
+			for j := range dists {
+				dists[j] = float32(math.Sqrt(float64(dists[j])))
+			}
+		}
+	default:
+		qf := ix.cfg.Metric.QueryFunc(q)
+		return func(idxs []int32, dists []float32) {
+			for j, i := range idxs {
+				dists[j] = qf(ix.vecs.At(int(i)))
+			}
+		}
+	}
+}
+
 // AddBatch inserts vectors ids[i] -> vecs[i] sequentially.
 func (ix *Index) AddBatch(ids []int, vecs [][]float32) error {
 	if len(ids) != len(vecs) {
@@ -372,16 +435,23 @@ func (ix *Index) randomLevel() int {
 }
 
 // greedyClosest walks layer l greedily from ep towards the query bound in
-// qd, returning the local minimum.
-func (ix *Index) greedyClosest(qd func(int) float32, ep, l int) int {
+// qd/qb, returning the local minimum. Each hop scores the whole neighbour
+// block in one batched call; the running-minimum scan over the results in
+// block order makes the walk identical to the per-neighbour version.
+func (ix *Index) greedyClosest(qd func(int) float32, qb batchDist, ep, l int, ctx *searchCtx) int {
 	cur := ep
 	curDist := qd(cur)
 	for {
+		nbs := ix.neighbors(cur, l)
+		if len(nbs) == 0 {
+			return cur
+		}
+		dists := ctx.distBuf(len(nbs))
+		qb(nbs, dists)
 		improved := false
-		for _, nb := range ix.neighbors(cur, l) {
-			d := qd(int(nb))
-			if d < curDist {
-				cur, curDist = int(nb), d
+		for j, nb := range nbs {
+			if dists[j] < curDist {
+				cur, curDist = int(nb), dists[j]
 				improved = true
 			}
 		}
@@ -424,7 +494,12 @@ func (v *visitSet) visit(i int32) bool {
 // searchLayer is Algorithm 2 of the HNSW paper: best-first beam search with
 // width ef at layer l, returning up to ef results sorted by distance. The
 // returned slice is ctx.out — valid until the ctx's next search.
-func (ix *Index) searchLayer(qd func(int) float32, ep, ef, l int, ctx *searchCtx) []vector.Neighbor {
+//
+// Neighbour expansion is batched: each popped node's unvisited neighbours
+// are collected and scored in one qb call over the flat links arena, then
+// pushed in block order — the same order the per-neighbour loop used, so the
+// best.Worst() gating sequence and therefore the result set are unchanged.
+func (ix *Index) searchLayer(qd func(int) float32, qb batchDist, ep, ef, l int, ctx *searchCtx) []vector.Neighbor {
 	ctx.visit.reset(len(ix.ids))
 	ctx.visit.visit(int32(ep))
 	epDist := qd(ep)
@@ -440,11 +515,20 @@ func (ix *Index) searchLayer(qd func(int) float32, ep, ef, l int, ctx *searchCtx
 		if best.Full() && c.Dist > best.Worst() {
 			break
 		}
+		unv := ctx.cands[:0]
 		for _, nb := range ix.neighbors(c.ID, l) {
-			if ctx.visit.visit(nb) {
-				continue
+			if !ctx.visit.visit(nb) {
+				unv = append(unv, nb)
 			}
-			d := qd(int(nb))
+		}
+		ctx.cands = unv
+		if len(unv) == 0 {
+			continue
+		}
+		dists := ctx.distBuf(len(unv))
+		qb(unv, dists)
+		for j, nb := range unv {
+			d := dists[j]
 			if !best.Full() || d < best.Worst() {
 				best.Push(int(nb), d)
 				ctx.frontier.Push(vector.Neighbor{ID: int(nb), Dist: d})
@@ -548,11 +632,12 @@ func (ix *Index) Search(q []float32, k, ef int) []vector.Neighbor {
 	ctx := ix.searchPool.Get().(*searchCtx)
 	defer ix.searchPool.Put(ctx)
 	qd := ix.queryDist(q)
+	qb := ix.queryDistBatch(q)
 	ep := ix.entry
 	for l := ix.maxL; l > 0; l-- {
-		ep = ix.greedyClosest(qd, ep, l)
+		ep = ix.greedyClosest(qd, qb, ep, l, ctx)
 	}
-	res := ix.searchLayer(qd, ep, ef, 0, ctx)
+	res := ix.searchLayer(qd, qb, ep, ef, 0, ctx)
 	if len(res) > k {
 		res = res[:k]
 	}

@@ -348,3 +348,37 @@ func BenchmarkSearch10k(b *testing.B) {
 		ix.Search(q, 10, 0)
 	}
 }
+
+// BenchmarkSearchBatched measures Search at the pipeline's real
+// dimensionality (256, embed.DefaultDim) under both kernel paths: the
+// batched neighbour expansion plus SIMD kernels vs the same batched
+// traversal forced onto the portable scalar kernels.
+func BenchmarkSearchBatched(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const dim = 256
+	vecs := randUnitVecs(rng, 5000, dim)
+	q := randUnitVecs(rng, 1, dim)[0]
+	for _, mode := range []string{"auto", "scalar"} {
+		b.Run(mode, func(b *testing.B) {
+			if err := vector.SetKernels(mode); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := vector.SetKernels("auto"); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			ix := New(dim, Config{Seed: 1})
+			for j, v := range vecs {
+				if err := ix.Add(j, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Search(q, 10, 0)
+			}
+		})
+	}
+}

@@ -359,17 +359,6 @@ func centroidInto(dst []float32, members []int, entVecs *vector.Store) {
 	vector.Normalize(dst)
 }
 
-// centroidOf is centroidInto into a fresh vector; the merging phase uses it
-// for transient merged items.
-func centroidOf(members []int, entVecs *vector.Store) []float32 {
-	if len(members) == 1 {
-		return entVecs.At(members[0])
-	}
-	out := make([]float32, entVecs.Dim())
-	centroidInto(out, members, entVecs)
-	return out
-}
-
 // Result returns the pipeline output the matcher was built from, or nil for
 // a matcher loaded from disk.
 func (m *Matcher) Result() *Result { return m.result }
@@ -438,28 +427,36 @@ type shardHits struct {
 
 // searchShard runs one shard's leg of a fan-out query: over-fetch from the
 // view's index, collapse stale duplicates, and re-rank every distinct tuple
-// against its epoch-current centroid with the query-bound kernel qf. The
-// view is immutable, so no lock is involved.
-func searchShard(v *shardView, s, fetch, ef int, q []float32, qf vector.QueryDist, hits *shardHits) {
+// against its epoch-current centroid with the query-bound batch kernel qb —
+// one gather call over the centroid version arena instead of a kernel call
+// per tuple. The view is immutable, so no lock is involved.
+func searchShard(v *shardView, s, fetch, ef int, q []float32, qb vector.QueryBatch, hits *shardHits) {
 	// Over-fetch: absorbed-into tuples leave stale centroid entries in the
 	// index, and several entries can resolve to one tuple.
 	raw := v.index.Search(q, fetch, ef)
+	if len(raw) == 0 {
+		return
+	}
 	seen := make(map[int]bool, len(raw))
+	rows := make([]int32, 0, len(raw))
 	for _, r := range raw {
 		if seen[r.ID] {
 			continue
 		}
 		seen[r.ID] = true
-		// Distance against the current centroid, not the possibly stale
-		// indexed vector. Clamp: float rounding can push an exact self-match
-		// a hair below zero.
-		d := qf(v.centroidAt(r.ID))
-		if d < 0 {
-			d = 0
-		}
+		rows = append(rows, v.tuples[r.ID].centroidRow)
 		hits.keys = append(hits.keys, v.tuples[r.ID].minEntID)
 		hits.ids = append(hits.ids, globalTupleID(s, r.ID))
-		hits.dists = append(hits.dists, d)
+	}
+	// Distances against the current centroids, not the possibly stale
+	// indexed vectors. Clamp: float rounding can push an exact self-match a
+	// hair below zero.
+	hits.dists = make([]float32, len(rows))
+	qb(v.centroids.Raw(), v.centroids.Dim(), rows, hits.dists)
+	for i, d := range hits.dists {
+		if d < 0 {
+			hits.dists[i] = 0
+		}
 	}
 }
 
@@ -491,13 +488,13 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 
 	// Bind the metric to the query once; every shard's re-rank shares the
 	// kernel (for cosine, ||q|| is hoisted out of all candidate loops).
-	qf := m.opt.MergeMetric.QueryFunc(q)
+	qb := m.opt.MergeMetric.QueryBatchFunc(q)
 	fetch := 4*k + 8
 	ef := m.shardEf()
 	v := m.state.Load()
 	perShard := make([]shardHits, len(v.shards))
 	parallelFor(len(v.shards), len(v.shards), func(s int) {
-		searchShard(v.shards[s], s, fetch, ef, q, qf, &perShard[s])
+		searchShard(v.shards[s], s, fetch, ef, q, qb, &perShard[s])
 	})
 
 	// Merge the per-shard rankings keyed on the layout-independent tuple
@@ -662,12 +659,30 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 		d := &decs[i]
 		d.vec = m.embed(rows[i])
 		if vector.Norm(d.vec) > 0 {
+			// Bind the merge metric to the row once; each shard's candidate
+			// set is then scored in a single gather call over that shard's
+			// centroid version arena.
+			qb := m.opt.MergeMetric.QueryBatchFunc(d.vec)
 			bestID, bestMin := -1, 0
 			var bestDist float32
+			var crows []int32
+			var dists []float32
 			for s, sh := range m.shards {
-				for _, r := range sh.index.Search(d.vec, addSearchK, ef) {
-					dd := m.dist(d.vec, sh.centroidAt(r.ID))
-					if bestID >= 0 && dd > bestDist {
+				raw := sh.index.Search(d.vec, addSearchK, ef)
+				if len(raw) == 0 {
+					continue
+				}
+				crows = crows[:0]
+				for _, r := range raw {
+					crows = append(crows, sh.tuples[r.ID].centroidRow)
+				}
+				if cap(dists) < len(raw) {
+					dists = make([]float32, len(raw))
+				}
+				ds := dists[:len(raw)]
+				qb(sh.centroids.Raw(), m.dim, crows, ds)
+				for j, r := range raw {
+					if bestID >= 0 && ds[j] > bestDist {
 						continue
 					}
 					// Equidistant tuples tie-break on their smallest member
@@ -675,8 +690,8 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 					// every layout picks the same winner. (Global tuple IDs
 					// would not do: they encode the layout.)
 					cm := m.tupleMinEntityID(s, r.ID)
-					if bestID < 0 || dd < bestDist || cm < bestMin {
-						bestID, bestDist, bestMin = globalTupleID(s, r.ID), dd, cm
+					if bestID < 0 || ds[j] < bestDist || cm < bestMin {
+						bestID, bestDist, bestMin = globalTupleID(s, r.ID), ds[j], cm
 					}
 				}
 			}

@@ -120,8 +120,24 @@ func (mc *mergeContext) mergeTwoTables(a, b []item) ([]item, error) {
 			groupMax[root] = p.Dist
 		}
 	}
+	groups := uf.Sets(1)
+	// Merged-item centroids live in one scratch arena per merge call instead
+	// of a fresh allocation each: the arena is pre-sized to the exact merged
+	// group count, so it never reallocates and the row views handed to the
+	// items stay valid for the rest of the hierarchy. (Per merge call, not
+	// per hierarchy: parallel hierarchies run mergeTwoTables concurrently.)
+	nMerged := 0
+	for _, group := range groups {
+		if len(group) > 1 {
+			nMerged++
+		}
+	}
+	var centroids *vector.Store
+	if nMerged > 0 {
+		centroids = vector.NewStoreWithCap(mc.entVecs.Dim(), nMerged)
+	}
 	merged := make([]item, 0, total-len(pairs))
-	for _, group := range uf.Sets(1) {
+	for _, group := range groups {
 		if len(group) == 1 {
 			// Mismatched item: retained unchanged into the next
 			// hierarchy (Alg. 3 line 9).
@@ -137,14 +153,11 @@ func (mc *mergeContext) mergeTwoTables(a, b []item) ([]item, error) {
 				maxDist = it.maxJoinDist
 			}
 		}
-		merged = append(merged, item{members: members, vec: mc.centroid(members), maxJoinDist: maxDist})
+		row := centroids.AppendZero()
+		centroidInto(centroids.At(row), members, mc.entVecs)
+		merged = append(merged, item{members: members, vec: centroids.At(row), maxJoinDist: maxDist})
 	}
 	return merged, nil
-}
-
-// centroid returns the unit-norm mean of the members' entity embeddings.
-func (mc *mergeContext) centroid(members []int) []float32 {
-	return centroidOf(members, mc.entVecs)
 }
 
 // hierarchicalMerge implements Algorithm 2: repeatedly pair up the current

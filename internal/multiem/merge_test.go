@@ -95,19 +95,41 @@ func TestMergeTwoTablesRespectsThreshold(t *testing.T) {
 	}
 }
 
-func TestCentroidSingleMemberIsSharedVector(t *testing.T) {
-	entVecs := [][]float32{unitv(1, 2, 3)}
-	mc := mcFor(t, DefaultOptions(), entVecs)
-	c := mc.centroid([]int{0})
-	if &c[0] != &mc.entVecs.At(0)[0] {
-		t.Fatal("single-member centroid must alias the entity's arena row (no copy)")
+func TestUnmatchedItemKeepsSharedVector(t *testing.T) {
+	// Unmatched items pass through mergeTwoTables unchanged: their vec must
+	// keep aliasing the caller's slice, not land in the merged-centroid
+	// scratch arena.
+	entVecs := [][]float32{unitv(1, 0), unitv(0, 1)}
+	opt := DefaultOptions()
+	opt.M = 0.2 // orthogonal vectors are at distance 1.0
+	opt.Backend = BackendBrute
+	mc := mcFor(t, opt, entVecs)
+	a, b := singleItems(entVecs, 0), singleItems(entVecs, 1)
+	merged, err := mc.mergeTwoTables(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range merged {
+		if &it.vec[0] != &entVecs[it.members[0]][0] {
+			t.Fatal("unmatched item's vec must alias its input slice (no copy)")
+		}
 	}
 }
 
-func TestCentroidIsUnitNorm(t *testing.T) {
-	entVecs := [][]float32{unitv(1, 0), unitv(0, 1)}
-	mc := mcFor(t, DefaultOptions(), entVecs)
-	c := mc.centroid([]int{0, 1})
+func TestMergedCentroidIsUnitNorm(t *testing.T) {
+	entVecs := [][]float32{unitv(1, 0, 0), unitv(0.99, 0.01, 0)}
+	opt := DefaultOptions()
+	opt.M = 0.3
+	opt.Backend = BackendBrute
+	mc := mcFor(t, opt, entVecs)
+	merged, err := mc.mergeTwoTables(singleItems(entVecs, 0), singleItems(entVecs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 || len(merged[0].members) != 2 {
+		t.Fatalf("want one merged pair, got %+v", merged)
+	}
+	c := merged[0].vec
 	if n := vector.Norm(c); n < 0.999 || n > 1.001 {
 		t.Fatalf("centroid norm = %v", n)
 	}

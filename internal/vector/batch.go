@@ -1,0 +1,126 @@
+package vector
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched one-query × N-rows kernels over flat Store arenas. Row i lives at
+// rows[i*stride : i*stride+len(q)]; stride may exceed len(q). Each function
+// fills out[j] for every j, reading row j (contiguous forms) or row idxs[j]
+// (gather forms). Per-row math routes through the same dispatched kernels as
+// the single-pair functions, so out[j] is bit-identical to the corresponding
+// single-pair call on the active kernel path — the batch layer buys the
+// call sites one bound-checked setup and one closure instead of N, not a
+// different numeric result.
+
+func checkBatch(q []float32, stride int, idxs []int32, out []float32) {
+	if stride < len(q) {
+		panic(fmt.Sprintf("vector: batch stride %d < query dim %d", stride, len(q)))
+	}
+	if idxs != nil && len(idxs) != len(out) {
+		panic(fmt.Sprintf("vector: batch idxs len %d != out len %d", len(idxs), len(out)))
+	}
+}
+
+// row returns row i of the arena as a capacity-clamped slice of dim d.
+func row(rows []float32, stride, d, i int) []float32 {
+	off := i * stride
+	return rows[off : off+d : off+d]
+}
+
+// DotBatch sets out[j] = Dot(q, row j) for j in [0, len(out)).
+func DotBatch(q, rows []float32, stride int, out []float32) {
+	checkBatch(q, stride, nil, out)
+	for j := range out {
+		out[j] = Dot(q, row(rows, stride, len(q), j))
+	}
+}
+
+// DotGather sets out[j] = Dot(q, row idxs[j]) for j in [0, len(out)).
+func DotGather(q, rows []float32, stride int, idxs []int32, out []float32) {
+	checkBatch(q, stride, idxs, out)
+	for j := range out {
+		out[j] = Dot(q, row(rows, stride, len(q), int(idxs[j])))
+	}
+}
+
+// SquaredDistBatch sets out[j] = SquaredDist(q, row j) for j in [0, len(out)).
+func SquaredDistBatch(q, rows []float32, stride int, out []float32) {
+	checkBatch(q, stride, nil, out)
+	for j := range out {
+		out[j] = SquaredDist(q, row(rows, stride, len(q), j))
+	}
+}
+
+// SquaredDistGather sets out[j] = SquaredDist(q, row idxs[j]).
+func SquaredDistGather(q, rows []float32, stride int, idxs []int32, out []float32) {
+	checkBatch(q, stride, idxs, out)
+	for j := range out {
+		out[j] = SquaredDist(q, row(rows, stride, len(q), int(idxs[j])))
+	}
+}
+
+// CosineSimBatch sets out[j] = CosineSim(q, row j) for j in [0, len(out)).
+func CosineSimBatch(q, rows []float32, stride int, out []float32) {
+	checkBatch(q, stride, nil, out)
+	for j := range out {
+		out[j] = CosineSim(q, row(rows, stride, len(q), j))
+	}
+}
+
+// QueryBatch is a distance kernel bound to a fixed query, evaluated against
+// many arena rows at once. idxs == nil means contiguous rows 0..len(out)-1;
+// otherwise out[j] is the distance to row idxs[j]. The query's own norm work
+// is hoisted out of the per-row loop exactly as in QueryFunc.
+type QueryBatch func(rows []float32, stride int, idxs []int32, out []float32)
+
+// QueryBatchFunc returns the batched form of QueryFunc: out[j] is
+// bit-identical to QueryFunc(q)(row j) on the same kernel path, for every
+// metric. q is captured, not copied — it must stay unchanged while the
+// kernel is in use.
+func (m Metric) QueryBatchFunc(q []float32) QueryBatch {
+	switch m {
+	case Cosine:
+		qn := math.Sqrt(float64(Dot(q, q)))
+		return func(rows []float32, stride int, idxs []int32, out []float32) {
+			checkBatch(q, stride, idxs, out)
+			for j := range out {
+				i := j
+				if idxs != nil {
+					i = int(idxs[j])
+				}
+				dot, nb := dotNormSq(q, row(rows, stride, len(q), i))
+				if qn == 0 || nb == 0 {
+					out[j] = 1 // CosineSim defines zero-vector similarity as 0
+					continue
+				}
+				out[j] = 1 - dot/float32(qn*math.Sqrt(float64(nb)))
+			}
+		}
+	case Euclidean:
+		return func(rows []float32, stride int, idxs []int32, out []float32) {
+			checkBatch(q, stride, idxs, out)
+			for j := range out {
+				i := j
+				if idxs != nil {
+					i = int(idxs[j])
+				}
+				out[j] = float32(math.Sqrt(float64(SquaredDist(q, row(rows, stride, len(q), i)))))
+			}
+		}
+	case CosineUnit:
+		return func(rows []float32, stride int, idxs []int32, out []float32) {
+			checkBatch(q, stride, idxs, out)
+			for j := range out {
+				i := j
+				if idxs != nil {
+					i = int(idxs[j])
+				}
+				out[j] = 1 - Dot(q, row(rows, stride, len(q), i))
+			}
+		}
+	default:
+		panic("vector: unknown metric " + m.String())
+	}
+}

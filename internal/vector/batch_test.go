@@ -1,0 +1,128 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testArena builds a rows×stride arena with dim meaningful columns per row
+// (stride > dim leaves tail padding, as in a Store snapshot mid-append).
+func testArena(rng *rand.Rand, rows, stride int) []float32 {
+	data := make([]float32, rows*stride)
+	for i := range data {
+		data[i] = rng.Float32()*2 - 1
+	}
+	return data
+}
+
+// TestBatchMatchesSinglePair: each batch kernel must be bit-identical to its
+// single-pair form per row, on whatever kernel path is active — the batch
+// layer reorders no math.
+func TestBatchMatchesSinglePair(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mode := range []string{"scalar", "auto"} {
+		forceKernels(t, mode)
+		for _, dim := range []int{1, 7, 16, 33, 64} {
+			for _, stride := range []int{dim, dim + 3} {
+				const rows = 9
+				arena := testArena(rng, rows, stride)
+				q := randVecOff(rng, dim, 1)
+				rowAt := func(i int) []float32 { return arena[i*stride : i*stride+dim] }
+
+				out := make([]float32, rows)
+				DotBatch(q, arena, stride, out)
+				for i := range out {
+					if want := Dot(q, rowAt(i)); out[i] != want {
+						t.Fatalf("%s dim %d stride %d: DotBatch[%d] = %v, Dot = %v", mode, dim, stride, i, out[i], want)
+					}
+				}
+				SquaredDistBatch(q, arena, stride, out)
+				for i := range out {
+					if want := SquaredDist(q, rowAt(i)); out[i] != want {
+						t.Fatalf("%s dim %d stride %d: SquaredDistBatch[%d] = %v, SquaredDist = %v", mode, dim, stride, i, out[i], want)
+					}
+				}
+				CosineSimBatch(q, arena, stride, out)
+				for i := range out {
+					if want := CosineSim(q, rowAt(i)); out[i] != want {
+						t.Fatalf("%s dim %d stride %d: CosineSimBatch[%d] = %v, CosineSim = %v", mode, dim, stride, i, out[i], want)
+					}
+				}
+
+				// Gather forms against a shuffled index set (with repeats).
+				idxs := []int32{3, 0, 8, 3, 5}
+				gout := make([]float32, len(idxs))
+				DotGather(q, arena, stride, idxs, gout)
+				for j, i := range idxs {
+					if want := Dot(q, rowAt(int(i))); gout[j] != want {
+						t.Fatalf("%s: DotGather[%d] = %v, want %v", mode, j, gout[j], want)
+					}
+				}
+				SquaredDistGather(q, arena, stride, idxs, gout)
+				for j, i := range idxs {
+					if want := SquaredDist(q, rowAt(int(i))); gout[j] != want {
+						t.Fatalf("%s: SquaredDistGather[%d] = %v, want %v", mode, j, gout[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryBatchFuncMatchesQueryFunc: for every metric, the batched bound
+// kernel must be bit-identical per row to the single-row bound kernel —
+// including the zero-query and zero-row cosine edge cases.
+func TestQueryBatchFuncMatchesQueryFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, mode := range []string{"scalar", "auto"} {
+		forceKernels(t, mode)
+		for _, m := range []Metric{Cosine, Euclidean, CosineUnit} {
+			const dim, stride, rows = 19, 21, 7
+			arena := testArena(rng, rows, stride)
+			// Row 2 is a zero vector; zero-distance semantics must survive
+			// batching.
+			for c := 0; c < dim; c++ {
+				arena[2*stride+c] = 0
+			}
+			for _, q := range [][]float32{randVecOff(rng, dim, 0), make([]float32, dim)} {
+				qf := m.QueryFunc(q)
+				qb := m.QueryBatchFunc(q)
+
+				out := make([]float32, rows)
+				qb(arena, stride, nil, out)
+				for i := range out {
+					if want := qf(arena[i*stride : i*stride+dim]); out[i] != want {
+						t.Fatalf("%s %s: contiguous row %d = %v, QueryFunc = %v", mode, m, i, out[i], want)
+					}
+				}
+
+				idxs := []int32{6, 2, 0, 2}
+				gout := make([]float32, len(idxs))
+				qb(arena, stride, idxs, gout)
+				for j, i := range idxs {
+					if want := qf(arena[int(i)*stride : int(i)*stride+dim]); gout[j] != want {
+						t.Fatalf("%s %s: gather j=%d row %d = %v, QueryFunc = %v", mode, m, j, i, gout[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchValidationPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	q := make([]float32, 8)
+	arena := make([]float32, 64)
+	out := make([]float32, 2)
+	mustPanic("stride < dim", func() { DotBatch(q, arena, 7, out) })
+	mustPanic("idxs/out mismatch", func() { DotGather(q, arena, 8, []int32{0}, out) })
+	mustPanic("row out of range", func() { DotBatch(q, arena, 8, make([]float32, 9)) })
+}

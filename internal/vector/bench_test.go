@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -60,4 +61,79 @@ func BenchmarkMetricDist(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDotScalar pins the portable kernel regardless of CPU, so the
+// SIMD speedup is measurable on one box (compare against BenchmarkDot,
+// which runs the dispatched path).
+func BenchmarkDotScalar(b *testing.B) {
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF32 = dotScalar(vs[0], vs[1])
+	}
+}
+
+func BenchmarkSquaredDistScalar(b *testing.B) {
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF32 = squaredDistScalar(vs[0], vs[1])
+	}
+}
+
+// BenchmarkDotDims tracks the dispatched kernel across the dimensionalities
+// the pipeline and its ablations actually use (64 = small encoders, 256 =
+// embed.DefaultDim, 300 = fastText-style, 1000 = issue property-suite max).
+func BenchmarkDotDims(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dim := range []int{64, 256, 300, 1000} {
+		x := make([]float32, dim)
+		y := make([]float32, dim)
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+			y[j] = float32(rng.NormFloat64())
+		}
+		b.Run(fmt.Sprintf("dim%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkF32 = Dot(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkDotBatch is the one-query×N-rows shape HNSW neighbour expansion
+// and the matcher re-rank now use: 32 rows approximates a layer-0 block
+// (2M with the default M=16).
+func BenchmarkDotBatch(b *testing.B) {
+	const rows = 32
+	rng := rand.New(rand.NewSource(3))
+	arena := make([]float32, rows*benchDim)
+	for i := range arena {
+		arena[i] = float32(rng.NormFloat64())
+	}
+	q := benchVecs(1)[0]
+	out := make([]float32, rows)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DotBatch(q, arena, benchDim, out)
+	}
+	sinkF32 = out[0]
+}
+
+func BenchmarkSquaredDistBatch(b *testing.B) {
+	const rows = 32
+	rng := rand.New(rand.NewSource(4))
+	arena := make([]float32, rows*benchDim)
+	for i := range arena {
+		arena[i] = float32(rng.NormFloat64())
+	}
+	q := benchVecs(1)[0]
+	out := make([]float32, rows)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SquaredDistBatch(q, arena, benchDim, out)
+	}
+	sinkF32 = out[0]
 }

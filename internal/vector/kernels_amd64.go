@@ -1,0 +1,62 @@
+//go:build amd64
+
+package vector
+
+// Assembly kernels in kernels_amd64.s. Each handles arbitrary lengths
+// (32-wide FMA main loop, 8-wide loop, scalar tail) and requires
+// len(a) == len(b) — the exported wrappers in vector.go check that before
+// dispatching. They must only be called when hasAVX2 is true.
+
+//go:noescape
+func dotAVX2(a, b []float32) float32
+
+//go:noescape
+func squaredDistAVX2(a, b []float32) float32
+
+// cosineAVX2 returns (Dot(a,b), Dot(a,a), Dot(b,b)) in one fused pass.
+//
+//go:noescape
+func cosineAVX2(a, b []float32) (dot, na, nb float32)
+
+// dotNormSqAVX2 returns (Dot(a,b), Dot(b,b)) in one fused pass.
+//
+//go:noescape
+func dotNormSqAVX2(a, b []float32) (dot, nb float32)
+
+// cpuid and xgetbv are tiny assembly shims over the CPUID and XGETBV
+// instructions, used once at init to probe AVX2+FMA support. xgetbv always
+// reads XCR0.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 reports whether the running CPU and OS support the AVX2+FMA
+// kernels: AVX2 (CPUID.7.0:EBX[5]) and FMA (CPUID.1:ECX[12]) present, and
+// the OS saving YMM state across context switches (OSXSAVE set and
+// XCR0[2:1] == 11, the check Intel's manuals mandate before executing any
+// VEX-256 instruction).
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&(fmaBit|osxsaveBit|avxBit) != fmaBit|osxsaveBit|avxBit {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set: the OS restores
+	// XMM+YMM registers on context switch.
+	xlo, _ := xgetbv()
+	if xlo&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

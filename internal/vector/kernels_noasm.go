@@ -1,0 +1,25 @@
+//go:build !amd64
+
+package vector
+
+// Non-amd64 builds have no SIMD kernels: hasAVX2 is constant false, so
+// simdOn can never be set and the stubs below are unreachable. They exist
+// only so vector.go compiles unconditionally.
+
+const hasAVX2 = false
+
+func dotAVX2(a, b []float32) float32 {
+	panic("vector: AVX2 kernel called on non-amd64 build")
+}
+
+func squaredDistAVX2(a, b []float32) float32 {
+	panic("vector: AVX2 kernel called on non-amd64 build")
+}
+
+func cosineAVX2(a, b []float32) (dot, na, nb float32) {
+	panic("vector: AVX2 kernel called on non-amd64 build")
+}
+
+func dotNormSqAVX2(a, b []float32) (dot, nb float32) {
+	panic("vector: AVX2 kernel called on non-amd64 build")
+}

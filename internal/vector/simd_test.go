@@ -1,0 +1,198 @@
+package vector
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simdTestDims covers the asm kernels' three regimes (32/16-wide main loop,
+// 8-wide loop, scalar tail) and their boundaries.
+var simdTestDims = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 64, 300, 1000}
+
+// forceKernels flips the dispatch for the duration of a test and restores
+// the prior path on cleanup. Tests using it must not run in parallel.
+func forceKernels(t *testing.T, mode string) {
+	t.Helper()
+	prev := Kernels()
+	if err := SetKernels(mode); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := SetKernels(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// relClose asserts agreement within 1e-4 relative error (the tentpole's
+// SIMD-vs-scalar bound; observed divergence is ~1e-7 — FMA keeps the
+// products exact until the adds).
+func relClose(t *testing.T, name string, got, want float32) {
+	t.Helper()
+	diff := math.Abs(float64(got) - float64(want))
+	scale := math.Max(1, math.Max(math.Abs(float64(got)), math.Abs(float64(want))))
+	if diff/scale > 1e-4 {
+		t.Errorf("%s: simd %v vs scalar %v (rel err %g)", name, got, want, diff/scale)
+	}
+}
+
+// randVecOff returns a slice of dim values starting at an unaligned offset
+// into a larger backing array, so the asm's handling of arbitrary
+// (non-32-byte) base addresses is exercised.
+func randVecOff(rng *rand.Rand, dim, offset int) []float32 {
+	backing := make([]float32, dim+offset)
+	for i := range backing {
+		backing[i] = rng.Float32()*2 - 1
+	}
+	return backing[offset : offset+dim : offset+dim]
+}
+
+// checkAllKernels compares every SIMD kernel against its scalar reference on
+// one (a, b) input pair.
+func checkAllKernels(t *testing.T, a, b []float32) {
+	t.Helper()
+	relClose(t, "Dot", dotAVX2(a, b), dotScalar(a, b))
+	relClose(t, "SquaredDist", squaredDistAVX2(a, b), squaredDistScalar(a, b))
+	d1, na1, nb1 := cosineAVX2(a, b)
+	d2, na2, nb2 := cosineScalar(a, b)
+	relClose(t, "cosine.dot", d1, d2)
+	relClose(t, "cosine.na", na1, na2)
+	relClose(t, "cosine.nb", nb1, nb2)
+	dd1, dnb1 := dotNormSqAVX2(a, b)
+	dd2, dnb2 := dotNormSqScalar(a, b)
+	relClose(t, "dotNormSq.dot", dd1, dd2)
+	relClose(t, "dotNormSq.nb", dnb1, dnb2)
+}
+
+func TestSIMDMatchesScalar(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("CPU lacks AVX2+FMA")
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range simdTestDims {
+		for offset := 0; offset < 4; offset++ {
+			checkAllKernels(t, randVecOff(rng, dim, offset), randVecOff(rng, dim, offset+1))
+		}
+	}
+}
+
+func TestSIMDZeroVectors(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("CPU lacks AVX2+FMA")
+	}
+	rng := rand.New(rand.NewSource(43))
+	for _, dim := range []int{0, 1, 7, 8, 17, 64, 300} {
+		zero := make([]float32, dim)
+		v := randVecOff(rng, dim, 1)
+		checkAllKernels(t, zero, v)
+		checkAllKernels(t, v, zero)
+		checkAllKernels(t, zero, zero)
+		// The exported zero-vector semantics must hold on the SIMD path too.
+		forceKernels(t, "avx2")
+		if got := CosineSim(zero, v); got != 0 {
+			t.Errorf("dim %d: CosineSim(0, v) = %v on avx2 path, want 0", dim, got)
+		}
+		if got := Norm(zero); got != 0 {
+			t.Errorf("dim %d: Norm(0) = %v on avx2 path, want 0", dim, got)
+		}
+	}
+}
+
+// TestDispatchedAPIAgrees exercises the public API (not the raw kernels)
+// under both SetKernels modes: Metric.Dist, QueryFunc, and Norm must agree
+// within the property bound for every metric.
+func TestDispatchedAPIAgrees(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("CPU lacks AVX2+FMA")
+	}
+	rng := rand.New(rand.NewSource(44))
+	metrics := []Metric{Cosine, Euclidean, CosineUnit}
+	for _, dim := range simdTestDims {
+		a, b := randVecOff(rng, dim, 0), randVecOff(rng, dim, 2)
+		type sample struct {
+			norm  float32
+			dists []float32
+			qds   []float32
+		}
+		run := func(mode string) sample {
+			if err := SetKernels(mode); err != nil {
+				t.Fatal(err)
+			}
+			s := sample{norm: Norm(a)}
+			for _, m := range metrics {
+				s.dists = append(s.dists, m.Dist(a, b))
+				s.qds = append(s.qds, m.QueryFunc(a)(b))
+			}
+			return s
+		}
+		simd := run("avx2")
+		scalar := run("scalar")
+		if err := SetKernels("auto"); err != nil {
+			t.Fatal(err)
+		}
+		relClose(t, "Norm", simd.norm, scalar.norm)
+		for i, m := range metrics {
+			relClose(t, m.String()+".Dist", simd.dists[i], scalar.dists[i])
+			relClose(t, m.String()+".QueryFunc", simd.qds[i], scalar.qds[i])
+		}
+	}
+}
+
+func TestSetKernels(t *testing.T) {
+	forceKernels(t, "scalar")
+	if Kernels() != "scalar" {
+		t.Fatalf("Kernels() = %q after SetKernels(scalar)", Kernels())
+	}
+	if err := SetKernels("bogus"); err == nil {
+		t.Fatal("SetKernels accepted an unknown mode")
+	}
+	if err := SetKernels("auto"); err != nil {
+		t.Fatal(err)
+	}
+	want := "scalar"
+	if hasAVX2 {
+		want = "avx2"
+	}
+	if Kernels() != want {
+		t.Fatalf("Kernels() = %q after SetKernels(auto), want %q", Kernels(), want)
+	}
+	if !hasAVX2 {
+		if err := SetKernels("avx2"); err == nil {
+			t.Fatal("SetKernels(avx2) must error on a CPU without AVX2+FMA")
+		}
+	}
+}
+
+// FuzzSIMDKernels feeds arbitrary byte-derived float vectors through every
+// SIMD/scalar kernel pair. NaN/Inf inputs are filtered: both paths propagate
+// them, but relative-error comparison is meaningless there.
+func FuzzSIMDKernels(f *testing.F) {
+	if !hasAVX2 {
+		f.Skip("CPU lacks AVX2+FMA")
+	}
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add(make([]byte, 4*33), make([]byte, 4*33))
+	f.Add([]byte{0x00, 0x00, 0x80, 0x3f}, []byte{0x00, 0x00, 0x80, 0xbf}) // 1.0, -1.0
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		n := min(len(ab), len(bb)) / 4
+		if n == 0 {
+			return
+		}
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = math.Float32frombits(binary.LittleEndian.Uint32(ab[4*i:]))
+			b[i] = math.Float32frombits(binary.LittleEndian.Uint32(bb[4*i:]))
+			// Clamp to a finite, overflow-safe range: comparing reduction
+			// orders is only meaningful when the sums stay finite.
+			for _, v := range []*float32{&a[i], &b[i]} {
+				if f64 := float64(*v); math.IsNaN(f64) || math.IsInf(f64, 0) || math.Abs(f64) > 1e18 {
+					*v = 0
+				}
+			}
+		}
+		checkAllKernels(t, a, b)
+	})
+}

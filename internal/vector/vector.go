@@ -12,14 +12,27 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of a and b. The unrolled loop keeps eight
+// Dot returns the inner product of a and b. It dispatches to the AVX2+FMA
+// assembly kernel when the CPU supports it and SetKernels has not forced the
+// scalar path; the portable fallback is the 8-chain unrolled scalar loop
+// below. The two paths differ only in float reduction order (FMA fuses the
+// multiply-add and sums eight lanes per chain), within ~1e-7 relative error;
+// each path is individually deterministic.
+func Dot(a, b []float32) float32 {
+	assertSameLen(a, b)
+	if simdOn {
+		return dotAVX2(a, b)
+	}
+	return dotScalar(a, b)
+}
+
+// dotScalar is the portable Dot kernel. The unrolled loop keeps eight
 // independent FP add chains in flight (hiding add latency), consumes sixteen
 // elements per iteration (halving loop overhead), and the explicit re-slices
 // eliminate bounds checks; this function dominates HNSW construction and
 // search cost. A tail loop mops up the remainder, and an 8-wide step covers
 // short vectors.
-func Dot(a, b []float32) float32 {
-	assertSameLen(a, b)
+func dotScalar(a, b []float32) float32 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3, s4, s5, s6, s7 float32
 	i := 0
@@ -53,13 +66,11 @@ func Dot(a, b []float32) float32 {
 	return s
 }
 
-// Norm returns the L2 norm of a.
+// Norm returns the L2 norm of a, computed as sqrt(Dot(a, a)) so it rides the
+// same unrolled/SIMD kernel as every other inner product (it sits under
+// cosine-metric Add and the load-time norm rebuild in hnsw/serialize.go).
 func Norm(a []float32) float32 {
-	var s float32
-	for _, v := range a {
-		s += v * v
-	}
-	return float32(math.Sqrt(float64(s)))
+	return float32(math.Sqrt(float64(Dot(a, a))))
 }
 
 // Normalize scales a in place to unit L2 norm and returns it. The zero
@@ -84,15 +95,30 @@ func Normalized(a []float32) []float32 {
 }
 
 // CosineSim returns the cosine similarity of a and b in [-1, 1]. If either
-// vector is zero the similarity is defined as 0. The three inner products
-// are fused into one 2-way-unrolled pass (six accumulators): measured
-// against a 4-way/twelve-accumulator variant and against three separate
-// unrolled Dot passes, this is the fastest shape — wider unrolls spill
-// registers once three sums are in flight. Callers that evaluate many
+// vector is zero the similarity is defined as 0. Dispatches to the fused
+// AVX2+FMA kernel when enabled; the portable path fuses the three inner
+// products into one 2-way-unrolled pass. Callers that evaluate many
 // candidates against one fixed vector should use Metric.QueryFunc instead,
 // which hoists the fixed vector's norm out of the loop entirely.
 func CosineSim(a, b []float32) float32 {
 	assertSameLen(a, b)
+	var dot, na, nb float32
+	if simdOn {
+		dot, na, nb = cosineAVX2(a, b)
+	} else {
+		dot, na, nb = cosineScalar(a, b)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / float32(math.Sqrt(float64(na))*math.Sqrt(float64(nb)))
+}
+
+// cosineScalar returns (Dot(a,b), Dot(a,a), Dot(b,b)) in one fused pass. The
+// 2-way unroll with six accumulators measured fastest: against a
+// 4-way/twelve-accumulator variant and against three separate unrolled Dot
+// passes, wider unrolls spill registers once three sums are in flight.
+func cosineScalar(a, b []float32) (float32, float32, float32) {
 	b = b[:len(a)]
 	var d0, d1, x0, x1, y0, y1 float32
 	n := len(a) &^ 1
@@ -111,10 +137,7 @@ func CosineSim(a, b []float32) float32 {
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / float32(math.Sqrt(float64(na))*math.Sqrt(float64(nb)))
+	return dot, na, nb
 }
 
 // CosineDist returns 1 - CosineSim(a, b), the cosine distance in [0, 2].
@@ -129,9 +152,17 @@ func EuclideanDist(a, b []float32) float32 {
 
 // SquaredDist returns the squared L2 distance between a and b. It is cheaper
 // than EuclideanDist and order-equivalent, so index internals prefer it.
-// Unrolled 8-way like Dot, for the same latency-hiding reason.
+// Dispatches like Dot; the portable path is unrolled 8-way for the same
+// latency-hiding reason.
 func SquaredDist(a, b []float32) float32 {
 	assertSameLen(a, b)
+	if simdOn {
+		return squaredDistAVX2(a, b)
+	}
+	return squaredDistScalar(a, b)
+}
+
+func squaredDistScalar(a, b []float32) float32 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3, s4, s5, s6, s7 float32
 	n := len(a) &^ 7
@@ -276,9 +307,16 @@ func (m Metric) Func() DistFunc {
 // QueryDist is a distance kernel bound to a fixed query vector.
 type QueryDist func(b []float32) float32
 
-// dotNormSq returns Dot(a, b) and Dot(b, b) in one fused unrolled pass; the
-// inner loop of query-bound cosine distance.
+// dotNormSq returns Dot(a, b) and Dot(b, b) in one fused pass; the inner
+// loop of query-bound cosine distance. Dispatched like Dot.
 func dotNormSq(a, b []float32) (float32, float32) {
+	if simdOn {
+		return dotNormSqAVX2(a, b)
+	}
+	return dotNormSqScalar(a, b)
+}
+
+func dotNormSqScalar(a, b []float32) (float32, float32) {
 	b = b[:len(a)]
 	var d0, d1, d2, d3 float32
 	var y0, y1, y2, y3 float32
