@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test test-scalar race race-matcher crash-recovery failover-smoke bench bench-smoke bench-json load-smoke load-sweep
+.PHONY: all build vet fmt test test-scalar race race-matcher crash-recovery failover-smoke bench bench-smoke bench-json load-smoke load-sweep metrics-smoke
 
 all: build vet test
 
@@ -60,6 +60,13 @@ load-smoke:
 load-sweep:
 	./scripts/load_sweep.sh
 
+# Observability smoke: boot a durable server with the debug listener on,
+# drive loadgen traffic, and assert /metrics is well-formed Prometheus
+# text exposition with the key matcher/WAL/HNSW/HTTP series non-zero, and
+# that pprof answers on -debug-addr. See docs/OPERATIONS.md (Monitoring).
+metrics-smoke:
+	./scripts/metrics_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -68,16 +75,16 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Tier-1 benches -> BENCH_PR8.json "current" suite. The frozen "baseline"
+# Tier-1 benches -> BENCH_PR9.json "current" suite. The frozen "baseline"
 # suite is kept; when the file has none yet it is seeded from the previous
 # PR's "current" (BENCH_BASE), which is how the measured trajectory chains
-# across PRs (PR 7 shipped no bench file, so PR 8 chains from PR 6; see
-# docs/BENCHMARKING.md). BENCH_REGRESS > 0 turns benchjson into a gate that
-# exits non-zero when any benchmark's ns/op regressed past that percentage
-# vs the baseline (CI runs it informationally, continue-on-error). CI
-# uploads the file as an artifact; see docs/BENCHMARKING.md for the format.
-BENCH_JSON ?= BENCH_PR8.json
-BENCH_BASE ?= BENCH_PR6.json
+# across PRs (see docs/BENCHMARKING.md). BENCH_REGRESS > 0 turns benchjson
+# into a gate that exits non-zero when any benchmark's ns/op regressed past
+# that percentage vs the baseline (CI runs it informationally,
+# continue-on-error). CI uploads the file as an artifact; see
+# docs/BENCHMARKING.md for the format.
+BENCH_JSON ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR8.json
 BENCH_REGRESS ?= 0
 bench-json:
 	@rm -f .bench.out
@@ -86,6 +93,6 @@ bench-json:
 	$(GO) test -run='^$$' -bench='Build1k|Search10k|SearchBatched' -benchmem -count=1 ./internal/hnsw >> .bench.out
 	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
 	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
-	$(GO) run ./cmd/benchjson -pr 8 -desc 'AVX2/FMA SIMD distance kernels with runtime dispatch + batched one-query×N-rows kernels under HNSW expansion, brute force, and the matcher re-rank' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
+	$(GO) run ./cmd/benchjson -pr 9 -desc 'End-to-end observability: lock-free metrics registry with Prometheus exposition, per-stage match/ingest spans, HNSW search-effort counters, slow-request logging, pprof debug listener' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
 	@rm -f .bench.out
 	@echo "wrote $(BENCH_JSON)"

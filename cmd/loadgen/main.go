@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/vector"
 )
 
@@ -166,6 +167,12 @@ type output struct {
 	// (nil when the scrape failed).
 	ServerBefore *serverStats `json:"server_before,omitempty"`
 	ServerAfter  *serverStats `json:"server_after,omitempty"`
+	// MetricsBefore/MetricsAfter are parsed /metrics scrapes bracketing
+	// the trial (nil when the scrape failed, or against an older server
+	// without the endpoint): the Prometheus-side view of the same run,
+	// carrying series /stats does not (stage latency, epoch age).
+	MetricsBefore *obs.Exposition `json:"metrics_before,omitempty"`
+	MetricsAfter  *obs.Exposition `json:"metrics_after,omitempty"`
 }
 
 // serverStats is the subset of the server's /stats response the harness
@@ -201,6 +208,7 @@ func runTrial(baseURL string, p trialParams) (*output, error) {
 	}
 	out := &output{}
 	out.ServerBefore, _ = scrapeStats(baseURL) // best-effort; nil on failure
+	out.MetricsBefore, _ = scrapeMetrics(baseURL)
 	rep, err := loadgen.Run(loadgen.Config{
 		BaseURL:     baseURL,
 		Rate:        p.rate,
@@ -218,7 +226,24 @@ func runTrial(baseURL string, p trialParams) (*output, error) {
 	}
 	out.Report = rep
 	out.ServerAfter, _ = scrapeStats(baseURL)
+	out.MetricsAfter, _ = scrapeMetrics(baseURL)
 	return out, nil
+}
+
+// scrapeMetrics fetches and strictly parses /metrics; a malformed
+// exposition is an error, not a partial result, so a sweep cannot record
+// numbers from a broken scrape surface.
+func scrapeMetrics(baseURL string) (*obs.Exposition, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(resp.Body)
 }
 
 // scrapeStats fetches and decodes /stats.

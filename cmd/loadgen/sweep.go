@@ -140,7 +140,8 @@ func runSweep(serverBin string, baseArgs []string, axes sweepFlags, base trialPa
 		"add_p50_ms", "add_p90_ms", "add_p99_ms", "add_p999_ms",
 		"server_match_p99_ms", "server_add_p99_ms",
 		"wal_bytes", "wal_appends", "wal_syncs", "snapshots",
-		"epoch_advances", "epoch_per_sec")
+		"epoch_advances", "epoch_per_sec",
+		"commit_p99_ms", "epoch_age_s")
 	fmt.Fprintln(f, strings.Join(header, ","))
 
 	for i, p := range points {
@@ -272,6 +273,15 @@ func csvRow(axisNames []string, p point, params trialParams, out *output) []stri
 		strconv.FormatInt(snaps, 10),
 		strconv.FormatUint(dEpoch, 10),
 		num(float64(dEpoch)/params.duration.Seconds()))
+	// From the post-trial /metrics scrape: the p99 of the ingest publish
+	// stage (the commit swap that makes a batch visible to readers) and
+	// how stale the serving view was when the trial ended.
+	var commitP99Ms, epochAgeS float64
+	if out.MetricsAfter != nil {
+		commitP99Ms = out.MetricsAfter.Value(`multiem_ingest_duration_seconds_stage{stage="publish",quantile="0.99"}`) * 1000
+		epochAgeS = out.MetricsAfter.Value(`multiem_epoch_age_seconds`)
+	}
+	row = append(row, num(commitP99Ms), num(epochAgeS))
 	return row
 }
 

@@ -6,6 +6,7 @@
 //	POST /match   {"values": ["paris", "2.35", "48.85"], "k": 3}
 //	POST /add     {"records": [["paris", "2.35", "48.85"]]}
 //	GET  /stats
+//	GET  /metrics
 //	GET  /healthz
 //	GET  /readyz
 //
@@ -22,6 +23,13 @@
 // recovered state is bit-identical to the pre-crash matcher. SIGINT/SIGTERM
 // drain in-flight requests and flush the logs before exit.
 //
+// Observability: /metrics serves the Prometheus catalogue (see metrics.go
+// and docs/OPERATIONS.md), logs go through log/slog (-log-level,
+// -log-format), requests slower than -slow-match / -slow-ingest log a
+// per-stage latency breakdown (sampled 1-in--slow-sample), and -debug-addr
+// opens a separate admin listener with net/http/pprof and a /metrics copy —
+// kept off the data port so profiling can stay unexposed in production.
+//
 // Usage:
 //
 //	server -dataset Geo -scale 0.3 -addr :8080
@@ -33,14 +41,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/multiem"
 	"repro/internal/repl"
 	"repro/internal/vector"
 )
@@ -74,15 +85,34 @@ func main() {
 		warmupK      = flag.Int("warmup", 8, "probe matches run before /readyz flips after recovery, bootstrap, or promotion (0 disables)")
 
 		kernels = flag.String("kernels", "", "distance kernel path: auto | scalar | avx2 (default auto; VECTOR_KERNELS env is the fallback)")
+
+		debugAddr  = flag.String("debug-addr", "", "admin listener with /debug/pprof/* and /metrics; empty disables")
+		logLevel   = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		logFormat  = flag.String("log-format", "text", "log format: text | json")
+		slowMatch  = flag.Duration("slow-match", 500*time.Millisecond, "log a stage breakdown for /match requests at or above this latency (0 disables)")
+		slowIngest = flag.Duration("slow-ingest", 5*time.Second, "log a stage breakdown for ingest batches at or above this latency (0 disables)")
+		slowSample = flag.Int("slow-sample", 10, "log one in every N slow requests (<= 1 logs all)")
 	)
 	flag.Parse()
 
+	if err := setupLogging(*logLevel, *logFormat); err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		slog.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *kernels != "" {
 		if err := vector.SetKernels(*kernels); err != nil {
-			log.Fatalf("server: %v", err)
+			fatal("bad -kernels", "err", err)
 		}
 	}
-	log.Printf("distance kernels: %s", vector.Kernels())
+	// Slow-request logging must be configured before any matcher exists:
+	// matchers adopt the config at creation (recovery, follower bootstrap,
+	// and promotion all build fresh instances).
+	multiem.SetSlowLog(slog.Default(), *slowMatch, *slowIngest, *slowSample)
 
 	opt := repro.DefaultOptions()
 	opt.K = *k
@@ -91,6 +121,9 @@ func main() {
 	opt.Seed = *seed
 	opt.Shards = *shards
 	opt.EfSearch = *efSearch
+
+	slog.Info("starting", "kernels", vector.Kernels(), "role", *role,
+		"shards", *shards, "addr", *addr, "wal_dir", *walDir)
 
 	// Bind and serve before the matcher exists: a pipeline build or WAL
 	// replay can take minutes, and during it the process must answer
@@ -111,11 +144,23 @@ func main() {
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("server: %v", err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	log.Printf("listening on %s (not ready: matcher starting)", *addr)
+	slog.Info("listening (not ready: matcher starting)", "addr", *addr)
+
+	// The admin listener is separate from the data port on purpose:
+	// pprof exposes memory contents and must not ride on a port that is
+	// load-balanced to clients.
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugMux(s)); err != nil {
+				slog.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		slog.Info("debug listener on", "addr", *debugAddr)
+	}
 
 	cfg := repro.WALConfig{
 		Dir:              *walDir,
@@ -132,10 +177,10 @@ func main() {
 		// the shipped WAL. -wal-dir is the mirror directory — on promotion
 		// it becomes this node's durability directory as-is.
 		if *primaryURL == "" || *walDir == "" {
-			log.Fatalf("server: -role follower requires -primary-url and -wal-dir (the mirror directory)")
+			fatal("-role follower requires -primary-url and -wal-dir (the mirror directory)")
 		}
 		if *loadIndex != "" || *dataDir != "" || *dataset != "" {
-			log.Fatalf("server: a follower takes no data source; its state comes from the primary")
+			fatal("a follower takes no data source; its state comes from the primary")
 		}
 		follower, err = repl.Start(repl.Config{
 			PrimaryURL:    *primaryURL,
@@ -145,10 +190,10 @@ func main() {
 			Poll:          *followPoll,
 			PromoteAfter:  *promoteAfter,
 			OnAutoPromote: func() { s.finishPromotion(follower) },
-			Logf:          log.Printf,
+			Logf:          func(format string, v ...any) { slog.Info(fmt.Sprintf(format, v...)) },
 		})
 		if err != nil {
-			log.Fatalf("server: %v", err)
+			fatal("follower start failed", "err", err)
 		}
 		s.setFollower(follower)
 		// Readiness waits for the bootstrap: once the follower publishes a
@@ -159,9 +204,10 @@ func main() {
 			}
 			s.warmup()
 			st := follower.Stats()
-			log.Printf("ready: following %s at seq %d (lag %d batches)", *primaryURL, st.NextSeq, st.LagBatches)
+			slog.Info("ready: following", "primary", *primaryURL, "next_seq", st.NextSeq, "lag_batches", st.LagBatches)
 		}()
-		log.Printf("follower: mirroring %s into %s (poll %v, auto-promote %v)", *primaryURL, *walDir, *followPoll, *promoteAfter)
+		slog.Info("follower: mirroring", "primary", *primaryURL, "dir", *walDir,
+			"poll", *followPoll, "auto_promote", *promoteAfter)
 
 	case "primary":
 		base := func() (*repro.Matcher, error) {
@@ -172,20 +218,21 @@ func main() {
 			matcher, err = repro.RecoverMatcher(cfg, opt, base)
 			if err == nil {
 				ws := matcher.WALStats()
-				log.Printf("durability on: wal-dir %s, fsync %s, %d log segments (%d bytes), next seq %d (snapshot covers %d)",
-					ws.Dir, ws.Fsync, ws.Segments, ws.Bytes, ws.NextSeq, ws.SnapshotSeq)
+				slog.Info("durability on", "wal_dir", ws.Dir, "fsync", ws.Fsync,
+					"segments", ws.Segments, "bytes", ws.Bytes,
+					"next_seq", ws.NextSeq, "snapshot_seq", ws.SnapshotSeq)
 			}
 		} else {
 			matcher, err = base()
 		}
 		if err != nil {
-			log.Fatalf("server: %v", err)
+			fatal("matcher startup failed", "err", err)
 		}
 		if *saveIndex != "" {
 			if err := repro.SaveMatcherFile(matcher, *saveIndex); err != nil {
-				log.Fatalf("server: %v", err)
+				fatal("save failed", "path", *saveIndex, "err", err)
 			}
-			log.Printf("saved matcher to %s", *saveIndex)
+			slog.Info("saved matcher", "path", *saveIndex)
 		}
 		s.setMatcher(matcher)
 		if *walDir != "" {
@@ -193,18 +240,19 @@ func main() {
 			// replication endpoints and adopt (or mint) a fencing term.
 			p, err := repl.NewPrimary(matcher, *walDir)
 			if err != nil {
-				log.Fatalf("server: replication feed: %v", err)
+				fatal("replication feed failed", "err", err)
 			}
 			s.setPrimary(p)
-			log.Printf("replication feed on: term %d", p.Term())
+			slog.Info("replication feed on", "term", p.Term())
 		}
 		s.warmup()
 		st := matcher.Stats()
-		log.Printf("ready: serving %d entities in %d tuples (%d matched, %d singletons) across %d shards over attrs %v",
-			st.Entities, st.Tuples, st.Matched, st.Singletons, st.Shards, st.Attrs)
+		slog.Info("ready: serving", "entities", st.Entities, "tuples", st.Tuples,
+			"matched", st.Matched, "singletons", st.Singletons,
+			"shards", st.Shards, "attrs", fmt.Sprint(st.Attrs))
 
 	default:
-		log.Fatalf("server: unknown -role %q (want primary or follower)", *role)
+		fatal("unknown -role (want primary or follower)", "role", *role)
 	}
 
 	// Graceful shutdown: drain in-flight requests, then flush and fsync the
@@ -213,29 +261,73 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errCh:
-		log.Fatalf("server: %v", err)
+		fatal("serve failed", "err", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutting down: draining requests")
+		slog.Info("shutting down: draining requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("server: shutdown: %v", err)
+			slog.Warn("shutdown", "err", err)
 		}
 		if follower != nil {
 			// Stop the fetch loop first; a promoted follower's matcher has
 			// a live WAL that still needs the flush below.
 			if err := follower.Close(); err != nil {
-				log.Printf("server: follower stop: %v", err)
+				slog.Warn("follower stop", "err", err)
 			}
 		}
 		if m := s.currentMatcher(); m != nil {
 			if err := m.CloseWAL(); err != nil {
-				log.Fatalf("server: wal flush: %v", err)
+				fatal("wal flush failed", "err", err)
 			}
 		}
-		log.Printf("shutdown complete")
+		slog.Info("shutdown complete")
 	}
+}
+
+// setupLogging installs the process-wide slog default. Everything —
+// including the slow-request span breakdowns — goes through it, so
+// -log-format json turns the whole stream machine-parseable.
+func setupLogging(level, format string) error {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// debugMux is the admin surface: pprof plus a /metrics copy, so one
+// scrape target works even when the data port is firewalled off.
+func debugMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", s.reg.Handler())
+	return mux
 }
 
 // loadOrBuild resolves the startup matcher: a saved index when -load-index
@@ -249,7 +341,7 @@ func loadOrBuild(loadIndex, dataDir, dataset string, scale float64, seed int64, 
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("loaded matcher from %s", loadIndex)
+		slog.Info("loaded matcher", "path", loadIndex)
 		return m, nil
 	}
 
@@ -270,11 +362,11 @@ func loadOrBuild(loadIndex, dataDir, dataset string, scale float64, seed int64, 
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("building matcher: dataset %s, %d sources, %d entities", d.Name, d.NumSources(), d.NumEntities())
+	slog.Info("building matcher", "dataset", d.Name, "sources", d.NumSources(), "entities", d.NumEntities())
 	m, err := repro.BuildMatcher(d, opt)
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("pipeline done in %v", m.Result().Timings.Total.Round(1e6))
+	slog.Info("pipeline done", "took", m.Result().Timings.Total.Round(time.Millisecond))
 	return m, nil
 }

@@ -4,14 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
-	"repro/internal/hist"
+	"repro/internal/obs"
 	"repro/internal/repl"
 )
 
@@ -65,20 +65,23 @@ type server struct {
 	// maxAddBytes caps /add request bodies; larger payloads get a 413.
 	maxAddBytes int64
 	start       time.Time
-	// metrics holds per-data-endpoint request counters and latency
-	// histograms ("match", "add"), reported under /stats "endpoints" so an
-	// open-loop load driver can reconcile its client-side percentiles
-	// against the server's own view (the gap between them is network +
-	// client-side queueing).
-	metrics map[string]*endpointMetrics
+	// reg is the process metrics registry behind /metrics; every series —
+	// HTTP endpoints, matcher, WAL, replication, HNSW — is registered on
+	// it (see metrics.go), and /stats reads the same handles, so the two
+	// surfaces cannot drift apart.
+	reg *obs.Registry
+	// endpoints holds the per-data-endpoint registry handles ("match",
+	// "add"); the instrument wrapper records into them and /stats
+	// summarizes from them.
+	endpoints map[string]*endpointMetrics
 }
 
-// endpointMetrics accumulates one route's server-side request counts and
-// handler latency since process start. All fields are concurrency-safe.
+// endpointMetrics is one route's registry handles: request/error counters
+// and the handler latency summary, shared by /metrics and /stats.
 type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64 // responses with status >= 400
-	lat      hist.Histogram
+	requests *obs.Counter
+	errors   *obs.Counter // responses with status >= 400
+	lat      *obs.Summary
 }
 
 // newServer builds a not-yet-ready server. maxAddBytes <= 0 keeps the
@@ -87,11 +90,24 @@ func newServer(maxAddBytes int64) *server {
 	if maxAddBytes <= 0 {
 		maxAddBytes = defaultMaxAddBytes
 	}
-	return &server{
+	s := &server{
 		maxAddBytes: maxAddBytes,
 		start:       time.Now(),
-		metrics:     map[string]*endpointMetrics{"match": {}, "add": {}},
+		reg:         obs.NewRegistry(),
+		endpoints:   map[string]*endpointMetrics{},
 	}
+	for _, name := range []string{"match", "add"} {
+		s.endpoints[name] = &endpointMetrics{
+			requests: s.reg.Counter("multiem_http_requests_total",
+				"Requests handled, by data endpoint.", obs.L("endpoint", name)),
+			errors: s.reg.Counter("multiem_http_errors_total",
+				"Responses with status >= 400, by data endpoint.", obs.L("endpoint", name)),
+			lat: s.reg.Summary("multiem_http_request_duration_seconds",
+				"Handler latency (request entry to last byte written), by data endpoint.", obs.L("endpoint", name)),
+		}
+	}
+	s.registerMetrics()
+	return s
 }
 
 // setMatcher installs the matcher; /readyz stays 503 until warmup flips
@@ -131,7 +147,7 @@ func (s *server) warmup() {
 		}
 		for i := 0; i < s.warmupK; i++ {
 			if _, err := m.Match(row, 1); err != nil {
-				log.Printf("server: warmup probe %d: %v", i, err)
+				slog.Warn("warmup probe failed", "probe", i, "err", err)
 				break
 			}
 		}
@@ -151,13 +167,13 @@ func (s *server) finishPromotion(f *repl.Follower) {
 		m := f.Matcher()
 		s.m.Store(m)
 		if p, err := repl.NewPrimary(m, s.walDir); err != nil {
-			log.Printf("server: promoted, but cannot serve a replication feed: %v", err)
+			slog.Error("promoted, but cannot serve a replication feed", "err", err)
 		} else {
 			s.primary.Store(p)
 		}
 		s.warmup()
 		st := m.WALStats()
-		log.Printf("promoted to primary: term %d, next seq %d, wal-dir %s", f.Term(), st.NextSeq, s.walDir)
+		slog.Info("promoted to primary", "term", f.Term(), "next_seq", st.NextSeq, "wal_dir", s.walDir)
 	})
 }
 
@@ -169,6 +185,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /match", s.instrument("match", s.handleMatch))
 	mux.HandleFunc("POST /add", s.instrument("add", s.handleAdd))
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /promote", s.handlePromote)
@@ -215,16 +232,16 @@ func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
 // count, and handler latency (entry to last byte written) into the named
 // endpoint's metrics.
 func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	m := s.metrics[name]
+	m := s.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
-		m.requests.Add(1)
+		m.requests.Inc()
 		if sw.status >= 400 {
-			m.errors.Add(1)
+			m.errors.Inc()
 		}
-		m.lat.Record(time.Since(start))
+		m.lat.Observe(time.Since(start))
 	}
 }
 
@@ -337,13 +354,14 @@ type endpointSummary struct {
 	MeanMs float64 `json:"mean_ms"`
 }
 
-// summary freezes an endpoint's metrics for /stats.
+// summary freezes an endpoint's /stats entry from the same registry
+// handles /metrics scrapes, so the two surfaces report one truth.
 func (m *endpointMetrics) summary() endpointSummary {
 	s := m.lat.Snapshot()
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return endpointSummary{
-		Requests: m.requests.Load(),
-		Errors:   m.errors.Load(),
+		Requests: m.requests.Value(),
+		Errors:   m.errors.Value(),
 		P50Ms:    ms(s.Quantile(0.50)),
 		P90Ms:    ms(s.Quantile(0.90)),
 		P99Ms:    ms(s.Quantile(0.99)),
@@ -441,7 +459,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints:     map[string]endpointSummary{},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
-	for name, m := range s.metrics {
+	for name, m := range s.endpoints {
 		resp.Endpoints[name] = m.summary()
 	}
 	if ws := m.WALStats(); ws.Enabled {
@@ -525,7 +543,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("server: encode response: %v", err)
+		slog.Warn("encode response failed", "err", err)
 	}
 }
 

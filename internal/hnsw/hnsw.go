@@ -27,6 +27,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vector"
 )
@@ -111,7 +112,32 @@ type Index struct {
 
 	// frozen marks a read-only Clone: Add fails on it, Search and Save work.
 	frozen bool
+
+	// stats accumulates per-query search effort. Clones share the pointer,
+	// so totals aggregate across every copy-on-write view of one logical
+	// index; CarrySearchStats keeps them monotonic across rebuilds.
+	stats *searchStats
 }
+
+// searchStats counts Search work: queries served, nodes visited, and
+// distance evaluations. Updated with three atomic adds per Search.
+type searchStats struct {
+	searches atomic.Uint64
+	visited  atomic.Uint64
+	evals    atomic.Uint64
+}
+
+// SearchStats reports totals over every Search on this index and the
+// clones sharing its counters: queries served, nodes visited (marked
+// during beam search or expanded during greedy descent), and distance
+// evaluations (batched kernel calls count each scored row).
+func (ix *Index) SearchStats() (searches, visited, distEvals uint64) {
+	return ix.stats.searches.Load(), ix.stats.visited.Load(), ix.stats.evals.Load()
+}
+
+// CarrySearchStats makes ix share from's search counters, so a rebuilt
+// index (compaction) keeps the logical index's totals monotonic.
+func (ix *Index) CarrySearchStats(from *Index) { ix.stats = from.stats }
 
 // searchCtx bundles the per-search working set — visited marks, frontier,
 // result accumulator, output buffer, and the unvisited-candidate/distance
@@ -124,6 +150,12 @@ type searchCtx struct {
 	out      []vector.Neighbor
 	cands    []int32
 	dists    []float32
+	// visited/evals accumulate one query's effort locally; Search resets
+	// them and flushes to Index.stats in three atomic adds, keeping the
+	// inner loops free of shared-memory traffic. Add's buildCtx also
+	// bumps them, but never flushes — construction is not a query.
+	visited uint64
+	evals   uint64
 }
 
 // distBuf returns an n-sized distance scratch, growing the backing array
@@ -146,6 +178,7 @@ func New(dim int, cfg Config) *Index {
 		dist:   cfg.Metric.Func(),
 		vecs:   vector.NewStore(dim),
 		entry:  -1,
+		stats:  &searchStats{},
 	}
 	ix.searchPool.New = func() any { return newSearchCtx() }
 	ix.buildCtx = newSearchCtx()
@@ -311,6 +344,7 @@ func (ix *Index) Clone() *Index {
 		entry:    ix.entry,
 		maxL:     ix.maxL,
 		frozen:   true,
+		stats:    ix.stats, // shared: clone searches count towards the origin
 	}
 	// (Re-slicing a nil cosNorms stays nil, so the nil-means-no-cosine
 	// sentinel survives the three-index slice above.)
@@ -441,11 +475,14 @@ func (ix *Index) randomLevel() int {
 func (ix *Index) greedyClosest(qd func(int) float32, qb batchDist, ep, l int, ctx *searchCtx) int {
 	cur := ep
 	curDist := qd(cur)
+	ctx.evals++
 	for {
 		nbs := ix.neighbors(cur, l)
 		if len(nbs) == 0 {
 			return cur
 		}
+		ctx.visited++
+		ctx.evals += uint64(len(nbs))
 		dists := ctx.distBuf(len(nbs))
 		qb(nbs, dists)
 		improved := false
@@ -503,6 +540,8 @@ func (ix *Index) searchLayer(qd func(int) float32, qb batchDist, ep, ef, l int, 
 	ctx.visit.reset(len(ix.ids))
 	ctx.visit.visit(int32(ep))
 	epDist := qd(ep)
+	ctx.visited++
+	ctx.evals++
 
 	ctx.frontier.Reset()
 	ctx.frontier.Push(vector.Neighbor{ID: ep, Dist: epDist})
@@ -525,6 +564,8 @@ func (ix *Index) searchLayer(qd func(int) float32, qb batchDist, ep, ef, l int, 
 		if len(unv) == 0 {
 			continue
 		}
+		ctx.visited += uint64(len(unv))
+		ctx.evals += uint64(len(unv))
 		dists := ctx.distBuf(len(unv))
 		qb(unv, dists)
 		for j, nb := range unv {
@@ -631,6 +672,7 @@ func (ix *Index) Search(q []float32, k, ef int) []vector.Neighbor {
 	}
 	ctx := ix.searchPool.Get().(*searchCtx)
 	defer ix.searchPool.Put(ctx)
+	ctx.visited, ctx.evals = 0, 0
 	qd := ix.queryDist(q)
 	qb := ix.queryDistBatch(q)
 	ep := ix.entry
@@ -638,6 +680,9 @@ func (ix *Index) Search(q []float32, k, ef int) []vector.Neighbor {
 		ep = ix.greedyClosest(qd, qb, ep, l, ctx)
 	}
 	res := ix.searchLayer(qd, qb, ep, ef, 0, ctx)
+	ix.stats.searches.Add(1)
+	ix.stats.visited.Add(ctx.visited)
+	ix.stats.evals.Add(ctx.evals)
 	if len(res) > k {
 		res = res[:k]
 	}

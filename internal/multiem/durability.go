@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/binio"
+	"repro/internal/hist"
 	"repro/internal/wal"
 )
 
@@ -81,6 +82,8 @@ type WALStats struct {
 	Appends int64 `json:"appends"`
 	// Syncs counts fsyncs since open.
 	Syncs int64 `json:"syncs"`
+	// TornTruncations counts torn-tail truncations across the shard logs.
+	TornTruncations int64 `json:"torn_truncations"`
 	// NextSeq is the sequence number the next ingest batch will get.
 	NextSeq uint64 `json:"next_seq"`
 	// SnapshotSeq is the sequence the latest snapshot covers: recovery
@@ -731,6 +734,21 @@ func (m *Matcher) WALStats() WALStats {
 		st.Bytes += ls.Bytes
 		st.Appends += ls.Appends
 		st.Syncs += ls.Syncs
+		st.TornTruncations += ls.TornTruncations
 	}
 	return st
+}
+
+// WALSyncDurations merges the per-shard logs' fsync latency distributions;
+// nil when the matcher has no WAL attached.
+func (m *Matcher) WALSyncDurations() *hist.Snapshot {
+	ws := m.wal
+	if ws == nil {
+		return nil
+	}
+	agg := &hist.Snapshot{}
+	for _, l := range ws.logs {
+		agg.Merge(l.SyncDurations())
+	}
+	return agg
 }

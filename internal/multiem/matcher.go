@@ -10,9 +10,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/binio"
 	"repro/internal/hnsw"
+	"repro/internal/obs"
 	"repro/internal/table"
 	"repro/internal/vector"
 )
@@ -174,6 +176,12 @@ type Matcher struct {
 	// follower: reads serve normally, writes fail with ErrReadOnly until
 	// promotion clears the fence.
 	readOnly atomic.Bool
+	// obsIns is the lazily-created instrumentation state (see metrics.go);
+	// lastPublish is the UnixNano of the latest view publish, feeding the
+	// epoch-age metric.
+	obsOnce     sync.Once
+	obsIns      *matcherObs
+	lastPublish atomic.Int64
 }
 
 // ErrReadOnly is returned by AddRecords while the matcher is a replication
@@ -204,6 +212,7 @@ func (m *Matcher) publishAll(epoch uint64) {
 		v.shards[s] = sh.view()
 	}
 	m.state.Store(v)
+	m.lastPublish.Store(time.Now().UnixNano())
 }
 
 // commit publishes the batch the caller just applied: shards[s] == nil keeps
@@ -219,6 +228,7 @@ func (m *Matcher) commit(views []*shardView) {
 		}
 	}
 	m.state.Store(v)
+	m.lastPublish.Store(time.Now().UnixNano())
 }
 
 // Epoch reports the current view epoch: the number of batches committed
@@ -481,8 +491,12 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 	if k > MaxMatchK {
 		k = MaxMatchK
 	}
+	sp := m.obs().match.Start()
 	q := m.embed(values)
+	sp.Mark(MatchStageEmbed)
 	if vector.Norm(q) == 0 {
+		// Abandoned span: a no-text query runs no search, so recording an
+		// all-zero breakdown would only skew the stage histograms.
 		return nil, nil
 	}
 
@@ -496,6 +510,7 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 	parallelFor(len(v.shards), len(v.shards), func(s int) {
 		searchShard(v.shards[s], s, fetch, ef, q, qb, &perShard[s])
 	})
+	sp.Mark(MatchStageFanout)
 
 	// Merge the per-shard rankings keyed on the layout-independent tuple
 	// keys: TopK displaces lexicographically on (distance, key), so the cut
@@ -526,6 +541,8 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 			Confidence: confidenceFrom(ts.maxJoinDist),
 		}
 	}
+	sp.Mark(MatchStageMerge)
+	sp.End()
 	return out, nil
 }
 
@@ -651,6 +668,13 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 	if len(rows) == 0 {
 		return nil, nil
 	}
+	// The span skips recovery replay: replay re-applies history before any
+	// reader exists, and its timings would pollute the serving histograms.
+	// The zero Span is a no-op, so the stage marks below need no branches.
+	var sp obs.Span
+	if mode != batchRecover {
+		sp = m.obs().ingest.Start()
+	}
 	// Phase 1: snapshot decisions. No shard locks are needed: addMu keeps
 	// every writer out, and concurrent Match calls only read.
 	decs := make([]addDecision, len(rows))
@@ -702,6 +726,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 			}
 		}
 	})
+	sp.Mark(IngestStageDecide)
 
 	// Phase 2: chain rows against the batch's own forming tuples in row
 	// order. A row joins a batch tuple when it is within M and strictly
@@ -756,6 +781,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 	for i := range decs {
 		perShard[decs[i].shard] = append(perShard[decs[i].shard], i)
 	}
+	sp.Mark(IngestStageChain)
 
 	// Write-ahead: the batch goes to the per-shard logs (and, under fsync
 	// "always", to stable storage) before any shard state changes. A failed
@@ -765,6 +791,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 			return nil, err
 		}
 	}
+	sp.Mark(IngestStageWAL)
 
 	baseID := m.nextID
 	m.nextID += len(rows)
@@ -857,13 +884,21 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 		}
 		compactErrs[s] = sh.maybeCompact(m.shardHNSWConfig(s), m.dim)
 		if mode != batchRecover {
+			t0 := time.Now()
 			views[s] = sh.view()
+			m.obs().viewBuild.Record(time.Since(t0))
 		}
 	})
+	sp.Mark(IngestStageApply)
 	// One atomic swap installs every touched shard's new view and advances
 	// the epoch: readers see the whole batch or none of it.
 	if mode != batchRecover {
 		m.commit(views)
+		sp.Mark(IngestStagePublish)
+		sp.End()
+		ins := m.obs()
+		ins.batches.Add(1)
+		ins.rows.Add(int64(len(rows)))
 	}
 	if err := errors.Join(compactErrs...); err != nil {
 		return out, fmt.Errorf("multiem: records ingested, but shard compaction failed: %w", err)

@@ -189,6 +189,9 @@ func (sh *shard) maybeCompact(cfg hnsw.Config, dim int) error {
 		return nil
 	}
 	ix := hnsw.New(dim, cfg)
+	// The rebuild replaces the index but not the logical shard: keep the
+	// search-effort counters monotonic across compactions.
+	ix.CarrySearchStats(sh.index)
 	dense := vector.NewStoreWithCap(dim, live)
 	for l := 0; l < live; l++ {
 		dense.Append(sh.centroidAt(l))

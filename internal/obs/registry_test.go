@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact rendered exposition for one of
+// every metric kind, so format drift is a deliberate diff.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.", L("endpoint", "match"))
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_temperature", "A settable gauge.", nil)
+	g.Set(-3.5)
+	r.GaugeFunc("test_uptime_seconds", "A computed gauge.", nil, func() float64 { return 12 })
+	r.CounterFunc("test_external_total", "An externally counted counter.", nil, func() float64 { return 7 })
+	s := r.Summary("test_latency_seconds", "A latency summary.", L("endpoint", "match"))
+	s.Observe(time.Millisecond)
+	s.Observe(time.Millisecond)
+	r.GaugeSetFunc("test_shard_live", "Per-shard live rows.", func() []Sample {
+		return []Sample{
+			{Labels: L("shard", "0"), Value: 10},
+			{Labels: L("shard", "1"), Value: 20},
+		}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	// 1ms lands in an HDR bucket whose midpoint reconstructs to ~1.008ms,
+	// clamped to the exact min/max (1ms) for a single-valued histogram.
+	want := `# HELP test_external_total An externally counted counter.
+# TYPE test_external_total counter
+test_external_total 7
+# HELP test_latency_seconds A latency summary.
+# TYPE test_latency_seconds summary
+test_latency_seconds{endpoint="match",quantile="0.5"} 0.001
+test_latency_seconds{endpoint="match",quantile="0.9"} 0.001
+test_latency_seconds{endpoint="match",quantile="0.99"} 0.001
+test_latency_seconds{endpoint="match",quantile="0.999"} 0.001
+test_latency_seconds_sum{endpoint="match"} 0.002
+test_latency_seconds_count{endpoint="match"} 2
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{endpoint="match"} 42
+# HELP test_shard_live Per-shard live rows.
+# TYPE test_shard_live gauge
+test_shard_live{shard="0"} 10
+test_shard_live{shard="1"} 20
+# HELP test_temperature A settable gauge.
+# TYPE test_temperature gauge
+test_temperature -3.5
+# HELP test_uptime_seconds A computed gauge.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 12
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	exp, err := ParseExposition(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("own exposition fails strict parse: %v", err)
+	}
+	if v := exp.Value(`test_requests_total{endpoint="match"}`); v != 42 {
+		t.Errorf("parsed counter = %v, want 42", v)
+	}
+	if exp.Types["test_latency_seconds"] != "summary" {
+		t.Errorf("parsed type = %q, want summary", exp.Types["test_latency_seconds"])
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no TYPE", "foo 1\n"},
+		{"bad value", "# TYPE foo gauge\nfoo abc\n"},
+		{"bad name", "# TYPE 9foo gauge\n"},
+		{"bad type", "# TYPE foo banana\n"},
+		{"duplicate TYPE", "# TYPE foo gauge\n# TYPE foo gauge\nfoo 1\n"},
+		{"duplicate series", "# TYPE foo gauge\nfoo 1\nfoo 2\n"},
+		{"unterminated labels", "# TYPE foo gauge\nfoo{a=\"b\" 1\n"},
+		{"unquoted label", "# TYPE foo gauge\nfoo{a=b} 1\n"},
+		{"missing value", "# TYPE foo gauge\nfoo\n"},
+		{"suffix on gauge", "# TYPE foo gauge\nfoo_count 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseExposition(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: parse accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestParseExpositionSummarySuffixes(t *testing.T) {
+	in := "# TYPE lat summary\nlat{quantile=\"0.5\"} 0.1\nlat_sum 5\nlat_count 50\n"
+	exp, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Value("lat_count") != 50 {
+		t.Errorf("lat_count = %v", exp.Value("lat_count"))
+	}
+	if !exp.Has(`lat{quantile="0.5"}`) {
+		t.Error("quantile series missing")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("esc", "h", L("path", "a\"b\\c\nd"), func() float64 { return 1 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition fails parse: %v\n%s", err, b.String())
+	}
+	if len(exp.Values) != 1 {
+		t.Fatalf("want 1 series, got %v", exp.Values)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("a_total", "h", nil)
+	mustPanic("dup series", func() { r.Counter("a_total", "h", nil) })
+	mustPanic("type conflict", func() { r.Gauge("a_total", "h", nil) })
+	mustPanic("bad name", func() { r.Counter("9bad", "h", nil) })
+	mustPanic("bad label", func() { r.Counter("ok_total", "h", L("9bad", "v")) })
+	mustPanic("odd L", func() { L("k") })
+}
+
+// TestRegistryConcurrentScrape hammers counter/summary writes while
+// scraping; run under -race this is the registry's concurrency contract.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "h", nil)
+	s := r.Summary("hammer_seconds", "h", nil)
+	g := r.Gauge("hammer_gauge", "h", nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				s.Observe(time.Duration(n%1000) * time.Microsecond)
+				g.Set(float64(n))
+			}
+		}(i)
+	}
+	// Late registration during scrapes must also be safe.
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Error(err)
+			break
+		}
+		if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+			t.Errorf("scrape %d: %v", i, err)
+			break
+		}
+		if i == 25 {
+			r.GaugeFunc("late_gauge", "h", nil, func() float64 { return 1 })
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

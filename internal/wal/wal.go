@@ -33,6 +33,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/hist"
 )
 
 // SyncPolicy says when appended records are fsynced to stable storage.
@@ -113,6 +116,9 @@ type Stats struct {
 	Appends int64 `json:"appends"`
 	// Syncs counts fsyncs since Open.
 	Syncs int64 `json:"syncs"`
+	// TornTruncations counts torn-tail truncations: crash-damaged partial
+	// records dropped when the log reopened for writing.
+	TornTruncations int64 `json:"torn_truncations"`
 }
 
 // segment is one log file and its bookkeeping.
@@ -141,7 +147,12 @@ type Log struct {
 	w        *bufio.Writer
 	appends  int64
 	syncs    int64
-	closed   bool
+	// tornTruncs counts torn-tail truncations performed on reopen.
+	tornTruncs int64
+	// syncDur distributes fsync wall time (flush + fdatasync); lock-free
+	// reads via SyncDurations feed the fsync-latency metric.
+	syncDur hist.Histogram
+	closed  bool
 }
 
 // Open attaches to the log directory, creating it if needed. Existing
@@ -256,9 +267,11 @@ func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.syncDur.Record(time.Since(t0))
 	l.syncs++
 	return nil
 }
@@ -288,6 +301,7 @@ func (l *Log) ensureWritableLocked() error {
 			return fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 		seg.bytes = valid
+		l.tornTruncs++
 	}
 	seg.fence = seg.bytes
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
@@ -603,11 +617,16 @@ func ScanRecords(path string, off int64, fn func(payload []byte) error) (next in
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	s := Stats{Segments: len(l.segments), Appends: l.appends, Syncs: l.syncs}
+	s := Stats{Segments: len(l.segments), Appends: l.appends, Syncs: l.syncs, TornTruncations: l.tornTruncs}
 	for _, seg := range l.segments {
 		s.Bytes += seg.bytes
 	}
 	return s
+}
+
+// SyncDurations freezes the distribution of fsync wall times since Open.
+func (l *Log) SyncDurations() *hist.Snapshot {
+	return l.syncDur.Snapshot()
 }
 
 // Close flushes, fsyncs, and closes the active segment.

@@ -183,4 +183,12 @@ curl -fsS -X POST -H 'Content-Type: application/json' \
 TERM="$(curl -fsS "$F_BASE/repl/manifest" | tr ',{' '\n\n' | grep -m1 '^"term":' | cut -d: -f2)"
 [ "$TERM" -ge 2 ] || fail "promoted manifest term $TERM, want >= 2"
 
+# The metrics surface must agree: the promoted node exports the bumped
+# fencing term and primary role on /metrics (what an alert rule watches).
+M_TERM="$(curl -fsS "$F_BASE/metrics" | awk '$1 == "multiem_repl_term" { print $2 }')"
+awk -v t="${M_TERM:-0}" 'BEGIN { exit !(t >= 2) }' ||
+  fail "promoted /metrics multiem_repl_term ${M_TERM:-missing}, want >= 2"
+M_ROLE="$(curl -fsS "$F_BASE/metrics" | awk '$1 == "multiem_repl_role" { print $2 }')"
+[ "$M_ROLE" = "1" ] || fail "promoted /metrics multiem_repl_role ${M_ROLE:-missing}, want 1 (primary)"
+
 log "PASS: promoted follower serves every acked batch (term $TERM, seq $F_SEQ)"
