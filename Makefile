@@ -30,10 +30,11 @@ race:
 
 # The sharded matcher's locking under both a single P (lock ordering) and
 # real parallelism (shard contention). The crash-recovery property matrix
-# makes this the longest suite; the explicit timeout keeps single-core
-# boxes from tripping go test's 10m default.
+# and the 100k-tuple chunked-state hammer make this the longest suite; the
+# explicit timeout keeps single-core boxes from tripping go test's 10m
+# default.
 race-matcher:
-	$(GO) test -race -cpu=1,4 -count=1 -timeout 25m ./internal/multiem
+	$(GO) test -race -cpu=1,4 -count=1 -timeout 45m ./internal/multiem
 
 # Black-box crash recovery: run the server under ingest load, SIGKILL it,
 # restart on the same -wal-dir, and diff /stats against the pre-kill state.
@@ -71,9 +72,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # One iteration per benchmark: proves the bench harness still compiles and
-# runs without paying for stable numbers.
+# runs without paying for stable numbers. -short skips the million-entity
+# IngestLive prepopulation, which is minutes of setup for one iteration.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) test -short -bench=. -benchtime=1x -run=^$$ ./...
 
 # Tier-1 benches -> BENCH_PR9.json "current" suite. The frozen "baseline"
 # suite is kept; when the file has none yet it is seeded from the previous
@@ -83,16 +85,16 @@ bench-smoke:
 # that percentage vs the baseline (CI runs it informationally,
 # continue-on-error). CI uploads the file as an artifact; see
 # docs/BENCHMARKING.md for the format.
-BENCH_JSON ?= BENCH_PR9.json
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR10.json
+BENCH_BASE ?= BENCH_PR9.json
 BENCH_REGRESS ?= 0
 bench-json:
 	@rm -f .bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkTable4_MultiEM' -benchmem -count=1 . >> .bench.out
-	$(GO) test -run='^$$' -bench='BenchmarkMatcher|BenchmarkSnapshotStall' -benchmem -count=1 . >> .bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkMatcher|BenchmarkSnapshotStall' -benchmem -count=1 -timeout 120m . >> .bench.out
 	$(GO) test -run='^$$' -bench='Build1k|Search10k|SearchBatched' -benchmem -count=1 ./internal/hnsw >> .bench.out
 	$(GO) test -run='^$$' -bench='Encode' -benchmem -count=1 ./internal/embed >> .bench.out
 	$(GO) test -run='^$$' -bench='.' -benchmem -count=1 ./internal/vector >> .bench.out
-	$(GO) run ./cmd/benchjson -pr 9 -desc 'End-to-end observability: lock-free metrics registry with Prometheus exposition, per-stage match/ingest spans, HNSW search-effort counters, slow-request logging, pprof debug listener' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
+	$(GO) run ./cmd/benchjson -pr 10 -desc 'O(batch) epoch commits: chunked COW tuple tables and chunk-level HNSW link snapshots; view publication copies dirty chunks only, BenchmarkMatcherIngestLive pins commit cost at 10k/100k/1M live entities' -set current -merge $(BENCH_JSON) -baseline-from $(BENCH_BASE) -fail-on-regress $(BENCH_REGRESS) -o $(BENCH_JSON) < .bench.out
 	@rm -f .bench.out
 	@echo "wrote $(BENCH_JSON)"

@@ -9,8 +9,11 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,8 +25,10 @@ import (
 	"repro/internal/embed"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/hnsw"
 	"repro/internal/multiem"
 	"repro/internal/table"
+	"repro/internal/vector"
 )
 
 // benchConfigs returns reduced-scale dataset configs for benchmarking.
@@ -486,6 +491,122 @@ func BenchmarkMatcherIngest(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(batchSize*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// liveRows generates distinct synthetic records for the large-live-state
+// bench: every token is an id-derived base-36 blob, so rows land as fresh
+// singletons and the live tuple count tracks the rows ingested.
+func liveRows(base, n int) [][]string {
+	rows := make([][]string, n)
+	for i := range rows {
+		id := uint64(base + i)
+		tok := func(k uint64) string {
+			return "v" + strconv.FormatUint(id*2654435761+k*40503, 36)
+		}
+		rows[i] = []string{tok(1) + " " + tok(2) + " " + tok(3), tok(4), tok(5)}
+	}
+	return rows
+}
+
+// liveBenchSnaps caches the Save bytes of a matcher prepopulated to N live
+// tuples, keyed by N. The benchmark framework re-invokes the benchmark body
+// for calibration and iteration scaling, and at 1M live tuples the
+// prepopulation dwarfs everything else — caching the serialized state means
+// each `go test` process pays it once, and every further invocation is a
+// LoadMatcher (seconds, and the loaded chunked state is identical bytes to
+// the ingested one, which the layout property tests pin).
+var liveBenchSnaps = struct {
+	sync.Mutex
+	raw map[int][]byte
+}{raw: map[int][]byte{}}
+
+func liveBenchOptions() repro.Options {
+	opt := repro.DefaultOptions()
+	opt.M = 0.5
+	opt.Shards = 1
+	opt.Encoder = embed.NewHashEncoder(embed.WithDim(64))
+	opt.HNSW = hnsw.Config{M: 8, EfConstruction: 40, EfSearch: 40, Metric: vector.CosineUnit, Seed: 1}
+	return opt
+}
+
+// liveBenchMatcher returns a single-shard matcher with live prepopulated
+// entities, building (and caching) it on first use per live size. The target
+// is entities, not tuples: every ingested row appends exactly one entity
+// (the epoch-hammer invariant), so prepopulation is exactly `live` rows and
+// terminates deterministically. A tuple-count target does not — as the
+// random-vector neighborhood densifies near a million rows, almost every new
+// row absorbs into an existing tuple and the loop asymptotes below target.
+// Absorptions still grow the chunked state (each appends an entity and a
+// fresh centroid version into the HNSW link arena), so both chunk spines
+// scale with `live` either way.
+func liveBenchMatcher(b *testing.B, live int) *repro.Matcher {
+	b.Helper()
+	const prepopBatch = 8192
+	liveBenchSnaps.Lock()
+	defer liveBenchSnaps.Unlock()
+	if raw, ok := liveBenchSnaps.raw[live]; ok {
+		m, err := repro.LoadMatcher(bytes.NewReader(raw), liveBenchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	m, err := repro.BuildMatcher(mustGen(b, "Geo", 0.3, 11), liveBenchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for next := 0; m.Stats().Entities < live; {
+		n := live - m.Stats().Entities
+		if n > prepopBatch {
+			n = prepopBatch
+		}
+		if _, err := m.AddRecords(liveRows(next, n)); err != nil {
+			b.Fatal(err)
+		}
+		next += n
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	liveBenchSnaps.raw[live] = buf.Bytes()
+	return m
+}
+
+// BenchmarkMatcherIngestLive measures per-batch ingest cost as a function of
+// live state size: a single-shard matcher with a deliberately cheap config
+// (dim-64 encoder, small HNSW) is prepopulated to N live entities, then
+// timed 256-row batches ingest on top. Before the chunked tuple table and the
+// chunk-level HNSW link snapshot, every batch copied O(live) state to publish
+// its view, so per-batch cost grew linearly with N; now the publish step is
+// O(batch dirty chunks) and "viewbuild-µs" — the mean per-shard view-build
+// time over the timed batches, from the matcher's own
+// multiem_view_build_duration_seconds histogram — should stay roughly flat
+// from 10k to 1M. rows/s still drifts down slowly with N: that residue is
+// the HNSW search/insert path's log(N), not the commit.
+func BenchmarkMatcherIngestLive(b *testing.B) {
+	const batchSize = 256
+	for _, live := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("live=%d", live), func(b *testing.B) {
+			if live > 100_000 && testing.Short() {
+				b.Skip("million-entity prepopulation skipped in -short mode")
+			}
+			m := liveBenchMatcher(b, live)
+			pre := m.ViewBuildDurations()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.AddRecords(liveRows(1<<30+i*batchSize, batchSize)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			post := m.ViewBuildDurations()
+			b.ReportMetric(float64(batchSize*b.N)/b.Elapsed().Seconds(), "rows/s")
+			if dc := post.Count - pre.Count; dc > 0 {
+				b.ReportMetric(float64(post.Sum-pre.Sum)/float64(dc)/1e3, "viewbuild-µs")
+			}
 		})
 	}
 }

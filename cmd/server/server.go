@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,6 +186,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /match", s.instrument("match", s.handleMatch))
 	mux.HandleFunc("POST /add", s.instrument("add", s.handleAdd))
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /tuples", s.handleTuples)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -475,6 +477,62 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Replication = &rs
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// tupleEntry is one line of the /tuples NDJSON stream.
+type tupleEntry struct {
+	// ID is the tuple's stable global ID (shard in the high bits).
+	ID int `json:"id"`
+	// Members is the tuple's member entity IDs, sorted ascending.
+	Members []int `json:"members"`
+	// Confidence is the tuple's merge-path confidence.
+	Confidence float64 `json:"confidence"`
+}
+
+// handleTuples streams the matcher's tuples as NDJSON, one object per line.
+// The walk runs over a single pinned epoch view via the matcher's cursor API,
+// so it is lock-free, consistent (the epoch it reports in the Multiem-Epoch
+// header labels every line), and constant-memory on the server no matter how
+// large the state — unlike a materialized dump, the response is produced
+// tuple by tuple while ingest keeps committing. Query parameters:
+// min_members (default 2; 1 includes singletons) and limit (0 = all).
+func (s *server) handleTuples(w http.ResponseWriter, r *http.Request) {
+	m := s.matcher(w)
+	if m == nil {
+		return
+	}
+	minMembers, ok := intParam(w, r, "min_members", 2)
+	if !ok {
+		return
+	}
+	limit, ok := intParam(w, r, "limit", 0)
+	if !ok {
+		return
+	}
+	c := m.TupleCursor(minMembers)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Multiem-Epoch", strconv.FormatUint(c.Epoch(), 10))
+	enc := json.NewEncoder(w)
+	for n := 0; c.Next() && (limit <= 0 || n < limit); n++ {
+		if err := enc.Encode(tupleEntry{ID: c.ID(), Members: c.Members(), Confidence: c.Confidence()}); err != nil {
+			return // client went away; nothing sensible to write
+		}
+	}
+}
+
+// intParam parses an optional non-negative integer query parameter, writing
+// a 400 and returning ok=false on junk.
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be a non-negative integer, got %q", name, q))
+		return 0, false
+	}
+	return v, true
 }
 
 // handleHealthz is pure liveness: 200 as soon as the process accepts

@@ -173,6 +173,75 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestTuplesStream: /tuples streams the same tuples Tuples() materializes,
+// one NDJSON line each in global tuple-ID order, labelled with the pinned
+// epoch; min_members=1 adds the singletons and limit truncates the stream.
+func TestTuplesStream(t *testing.T) {
+	m, _ := testMatcher(t)
+	h := newHandler(m, 0)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+	w := get("/tuples")
+	if w.Code != http.StatusOK {
+		t.Fatalf("tuples status %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("Multiem-Epoch"); got != "0" {
+		t.Fatalf("Multiem-Epoch %q, want 0 on a fresh matcher", got)
+	}
+	var got []tupleEntry
+	dec := json.NewDecoder(w.Body)
+	for dec.More() {
+		var e tupleEntry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("decode stream: %v", err)
+		}
+		got = append(got, e)
+	}
+	tuples, confs := m.Tuples()
+	if len(got) != len(tuples) {
+		t.Fatalf("streamed %d tuples, Tuples() returns %d", len(got), len(tuples))
+	}
+	lastID := -1
+	for i, e := range got {
+		if !slicesEqual(e.Members, tuples[i]) || e.Confidence != confs[i] {
+			t.Fatalf("stream line %d = %+v, want members %v conf %v", i, e, tuples[i], confs[i])
+		}
+		if e.ID <= lastID {
+			t.Fatalf("stream IDs not ascending: %d after %d", e.ID, lastID)
+		}
+		lastID = e.ID
+	}
+
+	// min_members=1 includes singletons: line count equals total tuples.
+	w = get("/tuples?min_members=1")
+	all := strings.Count(w.Body.String(), "\n")
+	if want := m.Stats().Tuples; all != want {
+		t.Fatalf("min_members=1 streamed %d lines, want %d (all tuples)", all, want)
+	}
+	if w = get("/tuples?limit=3"); strings.Count(w.Body.String(), "\n") != 3 {
+		t.Fatalf("limit=3 streamed %q", w.Body)
+	}
+	if w = get("/tuples?min_members=junk"); w.Code != http.StatusBadRequest {
+		t.Fatalf("junk min_members: %d, want 400", w.Code)
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestAddBadRowIndexed: an /add batch with one malformed row must come back
 // as a 400 whose JSON error names the offending row, not a 500 and not a
 // bare message.

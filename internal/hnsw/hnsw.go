@@ -12,10 +12,12 @@
 //
 // Storage is flat, in the spirit of hnswlib: vectors live in one contiguous
 // arena (vector.Store) addressed by internal index, and the adjacency lists
-// of all nodes live in a single []int32 with per-node offsets and fixed
-// per-layer capacities — no per-node or per-layer heap objects, no pointer
-// chasing between a node and its links. The distance metric is resolved to a
-// concrete kernel once at construction instead of switching per call.
+// of all nodes live in fixed-size int32 chunks behind a chunk-pointer spine
+// (links.go), with per-node offsets and fixed per-layer capacities — no
+// per-node or per-layer heap objects, no pointer chasing between a node and
+// its links, and chunk-granular copy-on-write sharing between the writer and
+// its frozen clones. The distance metric is resolved to a concrete kernel
+// once at construction instead of switching per call.
 //
 // Construction is serialized internally; Search is safe for concurrent use
 // once construction has finished (the merging pipeline builds per-table
@@ -68,13 +70,17 @@ func (c Config) withDefaults() Config {
 
 // Index is an HNSW approximate nearest-neighbour index over flat storage.
 //
-// Adjacency layout: node i owns the region links[offs[i]:offs[i+1]] (the
-// final offset is implicit in len(links) for the newest node). The region
-// starts with the layer-0 block and is followed by one block per upper layer
-// up to the node's level. Each block is a fixed-capacity counted list:
-// slot 0 holds the link count, slots 1..cap hold neighbour indexes. Layer 0
-// has capacity 2*M, upper layers M, so block starts are pure arithmetic —
-// the CSR-style shape serializes as-is and never allocates per node.
+// Adjacency layout: node i owns a contiguous region of regionSize(level)
+// int32 slots inside the chunked link arena (links.go); offs[i] is the
+// region's encoded chunk<<32|slot address. The region starts with the
+// layer-0 block and is followed by one block per upper layer up to the
+// node's level. Each block is a fixed-capacity counted list: slot 0 holds
+// the link count, slots 1..cap hold neighbour indexes. Layer 0 has capacity
+// 2*M, upper layers M, so block starts are pure arithmetic on the slot
+// field — the shape serializes logically (per-node counted lists) and never
+// allocates per node. Chunking exists for Clone: a copy-on-write view copies
+// the chunk spine, not the links, and the writer copies only the chunks a
+// batch dirties.
 type Index struct {
 	cfg    Config
 	dim    int
@@ -86,22 +92,15 @@ type Index struct {
 	vecs   *vector.Store // row i = vector of internal node i
 	ids    []int         // external id per node
 	levels []int32       // top layer per node
-	// linkDists mirrors links slot for slot: linkDists[bs+1+k] caches the
-	// distance of the k-th link in the layer block starting at bs (the count
-	// slot bs itself is unused). Vectors are immutable and every metric here
-	// is symmetric, so a link's distance is known the moment the link is
-	// created — caching it makes linkBack's overflow shrink gather its
-	// candidate distances for free instead of one kernel call per neighbour.
-	linkDists []float32
 	// cosNorms caches ||v|| per node when the metric is Cosine (nil
 	// otherwise), so every node-node and query-node cosine distance is a
 	// single Dot pass plus a multiply instead of three inner products —
 	// hnswlib's stored-norm trick. Vectors are immutable once added, so the
 	// cache never invalidates.
 	cosNorms []float64
-	links    []int32 // flat adjacency arena, see layout above
-	offs     []int   // offs[i] = start of node i's region in links
-	entry    int     // index into ids of the entry point; -1 when empty
+	la       linkArena // chunked adjacency arena, see links.go
+	offs     []int64   // offs[i] = encoded arena offset of node i's region
+	entry    int       // index into ids of the entry point; -1 when empty
 	maxL     int
 
 	searchPool sync.Pool  // *searchCtx for concurrent Search
@@ -202,20 +201,21 @@ func (ix *Index) regionSize(level int) int {
 	return (1 + 2*ix.cfg.M) + level*(1+ix.cfg.M)
 }
 
-// blockStart returns the offset of node i's layer-l counted block.
-func (ix *Index) blockStart(i, l int) int {
+// blockStart returns the encoded arena offset of node i's layer-l counted
+// block. Regions never straddle chunks, so adding the in-region block delta
+// to the slot field of the region offset stays inside the chunk.
+func (ix *Index) blockStart(i, l int) int64 {
 	off := ix.offs[i]
 	if l == 0 {
 		return off
 	}
-	return off + 1 + 2*ix.cfg.M + (l-1)*(1+ix.cfg.M)
+	return off + int64(1+2*ix.cfg.M+(l-1)*(1+ix.cfg.M))
 }
 
 // neighbors returns node i's layer-l links as a read view into the arena.
 func (ix *Index) neighbors(i, l int) []int32 {
-	bs := ix.blockStart(i, l)
-	n := int(ix.links[bs])
-	return ix.links[bs+1 : bs+1+n]
+	blk := ix.la.block(ix.blockStart(i, l))
+	return blk[1 : 1+blk[0]]
 }
 
 // layerCap is the link capacity at layer l (hnswlib's maxM/maxM0).
@@ -229,31 +229,11 @@ func (ix *Index) layerCap(l int) int {
 // appendLink adds one neighbour at distance d to node i's layer-l block;
 // the caller guarantees the block has room.
 func (ix *Index) appendLink(i, l int, nb int32, d float32) {
-	bs := ix.blockStart(i, l)
-	n := int(ix.links[bs])
-	ix.links[bs+1+n] = nb
-	ix.linkDists[bs+1+n] = d
-	ix.links[bs] = int32(n + 1)
-}
-
-// growLinks extends the links and linkDists arenas by n zeroed slots,
-// reusing capacity.
-func (ix *Index) growLinks(n int) {
-	l := len(ix.links)
-	if cap(ix.links) >= l+n {
-		ix.links = ix.links[:l+n]
-		clearRegion := ix.links[l:]
-		for i := range clearRegion {
-			clearRegion[i] = 0
-		}
-	} else {
-		ix.links = append(ix.links, make([]int32, n)...)
-	}
-	if cap(ix.linkDists) >= l+n {
-		ix.linkDists = ix.linkDists[:l+n]
-	} else {
-		ix.linkDists = append(ix.linkDists, make([]float32, n)...)
-	}
+	blk, dists := ix.la.mutBlock(ix.blockStart(i, l))
+	n := int(blk[0])
+	blk[1+n] = nb
+	dists[1+n] = d
+	blk[0] = int32(n + 1)
 }
 
 // Add inserts a vector under an external id. The vector is copied into the
@@ -272,8 +252,7 @@ func (ix *Index) Add(id int, vec []float32) error {
 	cur := len(ix.ids)
 	ix.ids = append(ix.ids, id)
 	ix.levels = append(ix.levels, int32(level))
-	ix.offs = append(ix.offs, len(ix.links))
-	ix.growLinks(ix.regionSize(level))
+	ix.offs = append(ix.offs, ix.la.alloc(ix.regionSize(level)))
 	ix.vecs.Append(vec)
 	if ix.cfg.Metric == vector.Cosine {
 		ix.cosNorms = append(ix.cosNorms, math.Sqrt(float64(vector.Dot(vec, vec))))
@@ -321,14 +300,17 @@ func (ix *Index) Add(id int, vec []float32) error {
 // Searches (and Save) may keep using while the original continues to take
 // Adds — the building block for copy-on-write serving views.
 //
-// Only the adjacency arena is deep-copied: it is the one structure Add
-// mutates in place (linkBack rewrites existing nodes' neighbour lists).
-// Everything else — the vector arena, ids, levels, offsets, cached norms — is
-// strictly append-only until the index is discarded wholesale, so the clone
-// shares those backing arrays and pins only their current lengths; later
-// Adds on the original write past every pinned length and never into it.
-// The link-distance cache, RNG, and construction scratch stay behind: they
-// exist only for Add, which a frozen clone refuses.
+// Nothing is deep-copied. The vector arena, ids, levels, offsets, and cached
+// norms are strictly append-only until the index is discarded wholesale, so
+// the clone shares those backing arrays and pins only their current lengths;
+// later Adds on the original write past every pinned length and never into
+// it. The adjacency arena — the one structure Add mutates in place (linkBack
+// rewrites existing nodes' neighbour lists) — is shared at chunk granularity:
+// the clone takes an O(chunks) spine snapshot, and the writer copies a chunk
+// the first time it mutates into it afterwards, so a batch's commit cost
+// tracks the links it touches instead of every link in the index. The
+// link-distance cache, RNG, and construction scratch stay behind: they exist
+// only for Add, which a frozen clone refuses.
 func (ix *Index) Clone() *Index {
 	c := &Index{
 		cfg:      ix.cfg,
@@ -339,7 +321,7 @@ func (ix *Index) Clone() *Index {
 		ids:      ix.ids[:len(ix.ids):len(ix.ids)],
 		levels:   ix.levels[:len(ix.levels):len(ix.levels)],
 		cosNorms: ix.cosNorms[:len(ix.cosNorms):len(ix.cosNorms)],
-		links:    append([]int32(nil), ix.links...),
+		la:       ix.la.snapshot(),
 		offs:     ix.offs[:len(ix.offs):len(ix.offs)],
 		entry:    ix.entry,
 		maxL:     ix.maxL,
@@ -633,28 +615,28 @@ func (ix *Index) selectHeuristic(cands []vector.Neighbor, m int, scratch *[]vect
 // heuristic when it is full. Candidate distances for the shrink come from
 // the link-distance cache — no kernel calls to gather them.
 func (ix *Index) linkBack(from, to, l int, d float32) {
-	bs := ix.blockStart(from, l)
-	cnt := int(ix.links[bs])
+	blk, dists := ix.la.mutBlock(ix.blockStart(from, l))
+	cnt := int(blk[0])
 	maxM := ix.layerCap(l)
 	if cnt < maxM {
-		ix.links[bs+1+cnt] = int32(to)
-		ix.linkDists[bs+1+cnt] = d
-		ix.links[bs] = int32(cnt + 1)
+		blk[1+cnt] = int32(to)
+		dists[1+cnt] = d
+		blk[0] = int32(cnt + 1)
 		return
 	}
 	cands := ix.backCands[:0]
-	for k, nb := range ix.links[bs+1 : bs+1+cnt] {
-		cands = append(cands, vector.Neighbor{ID: int(nb), Dist: ix.linkDists[bs+1+k]})
+	for k, nb := range blk[1 : 1+cnt] {
+		cands = append(cands, vector.Neighbor{ID: int(nb), Dist: dists[1+k]})
 	}
 	cands = append(cands, vector.Neighbor{ID: to, Dist: d})
 	ix.backCands = cands
 	sortNeighbors(cands)
 	kept := ix.selectHeuristic(cands, maxM, &ix.backSel)
 	for i, kn := range kept {
-		ix.links[bs+1+i] = int32(kn.ID)
-		ix.linkDists[bs+1+i] = kn.Dist
+		blk[1+i] = int32(kn.ID)
+		dists[1+i] = kn.Dist
 	}
-	ix.links[bs] = int32(len(kept))
+	blk[0] = int32(len(kept))
 }
 
 // Search returns the (approximately) k nearest stored vectors to q, sorted

@@ -147,8 +147,7 @@ func Load(r io.Reader) (*Index, error) {
 		ix.ids[i] = int(rd.I64())
 	}
 	ix.levels = make([]int32, count)
-	ix.offs = make([]int, count)
-	total := 0
+	ix.offs = make([]int64, count)
 	for i := range ix.levels {
 		level := rd.I32()
 		if rd.Err() != nil {
@@ -161,16 +160,17 @@ func Load(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("hnsw: load: node %d has implausible level %d", i, level)
 		}
 		ix.levels[i] = int32(level)
-		ix.offs[i] = total
-		total += ix.regionSize(level)
 	}
-	// Grow the links arena per node as its data actually arrives, never from
-	// the header's promise alone: a crafted count/level combination within
-	// the individual bounds above could still multiply to terabytes, and a
-	// short file must fail with an error at its first missing byte — like
-	// the per-record v1 loader did — not with an up-front allocation panic.
+	// Allocate each node's arena region as its data actually arrives, never
+	// from the header's promise alone: a crafted count/level combination
+	// within the individual bounds above could still multiply to terabytes,
+	// and a short file must fail with an error at its first missing byte —
+	// like the per-record v1 loader did — not with an up-front allocation
+	// panic. The resulting chunk layout is the one a fresh build of the same
+	// nodes produces; every chunk is writer-owned, so the block writes below
+	// never copy.
 	for i := 0; i < count; i++ {
-		ix.growLinks(ix.regionSize(int(ix.levels[i])))
+		ix.offs[i] = ix.la.alloc(ix.regionSize(int(ix.levels[i])))
 		for l := 0; l <= int(ix.levels[i]); l++ {
 			nLinks := rd.I32()
 			if rd.Err() != nil {
@@ -181,8 +181,8 @@ func Load(r io.Reader) (*Index, error) {
 			if nLinks < 0 || nLinks > ix.layerCap(l) {
 				return nil, fmt.Errorf("hnsw: load: node %d layer %d has implausible link count %d", i, l, nLinks)
 			}
-			bs := ix.blockStart(i, l)
-			ix.links[bs] = int32(nLinks)
+			blk, _ := ix.la.mutBlock(ix.blockStart(i, l))
+			blk[0] = int32(nLinks)
 			for j := 0; j < nLinks; j++ {
 				nb := int32(rd.I32())
 				if nb < 0 || int(nb) >= count {
@@ -195,7 +195,7 @@ func Load(r io.Reader) (*Index, error) {
 				if int(ix.levels[nb]) < l {
 					return nil, fmt.Errorf("hnsw: load: node %d layer %d links to node %d of level %d", i, l, nb, ix.levels[nb])
 				}
-				ix.links[bs+1+j] = nb
+				blk[1+j] = nb
 			}
 		}
 	}
@@ -229,14 +229,14 @@ func Load(r io.Reader) (*Index, error) {
 		}
 	}
 	// Rebuild the link-distance cache (not persisted: it is derived state;
-	// growLinks above already sized it alongside links). Kernels are
+	// the arena sized it alongside each link chunk). Kernels are
 	// deterministic, so the recomputed values equal the ones the original
 	// build cached and post-load Adds shrink identically.
 	for i := 0; i < count; i++ {
 		for l := 0; l <= int(ix.levels[i]); l++ {
-			bs := ix.blockStart(i, l)
-			for k, nb := range ix.neighbors(i, l) {
-				ix.linkDists[bs+1+k] = ix.nodeDist(i, int(nb))
+			blk, dists := ix.la.mutBlock(ix.blockStart(i, l))
+			for k := 0; k < int(blk[0]); k++ {
+				dists[1+k] = ix.nodeDist(i, int(blk[1+k]))
 			}
 		}
 	}

@@ -1,12 +1,25 @@
 package multiem
 
 import (
+	"bytes"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/embed"
+	"repro/internal/hnsw"
+	"repro/internal/vector"
 )
+
+// largeHammerBase caches the serialized prepopulated base state for
+// TestEpochHammerLargeChunkedState, so -cpu list reruns within one test
+// binary rebuild it from bytes instead of re-ingesting >100k rows.
+var largeHammerBase struct {
+	sync.Mutex
+	raw []byte
+}
 
 // epochRows builds one batch of n mutually distant records (every token is
 // an id-derived base-36 blob, so rows rarely absorb or chain — they spread
@@ -120,6 +133,162 @@ func TestEpochBatchAtomicity(t *testing.T) {
 	}
 	if reads.Load() == 0 {
 		t.Fatal("readers never ran; the hammer is vacuous")
+	}
+}
+
+// TestEpochHammerLargeChunkedState is the chunked-view hammer at scale: a
+// single-shard matcher prepopulated to >= 100k live tuples — enough that the
+// tuple table and HNSW link arena each span hundreds of chunks — takes
+// continuous checkpoints, ingest batches, and readers concurrently. At this
+// size a full-copy view build would dominate every batch; with chunk-level
+// COW the writer dirties a bounded set of chunks per batch while snapshots
+// and readers walk spines frozen at their epoch. The hammer asserts the same
+// whole-batch visibility as the small hammers plus cursor-walk consistency:
+// a TupleCursor must observe exactly its pinned epoch's tuple count however
+// many batches commit during the walk. CI runs this under -race -cpu=1,4;
+// -short skips it.
+func TestEpochHammerLargeChunkedState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-tuple hammer skipped in -short mode")
+	}
+	const liveTarget = 100_000
+	const prepopBatch = 8192
+	const batchRows = 64
+
+	d := smallGeo(t)
+	opt := geoOpts()
+	opt.Shards = 1
+	// Cheap substrate: the hammer stresses commit/snapshot interleaving, not
+	// embedding or search quality, and >100k HNSW inserts under -race are the
+	// dominant cost. Dim 64 keeps random rows distinct enough to land as
+	// fresh tuples — at dim 32 hash-embedding collisions absorb most rows
+	// into existing tuples and the prepopulation loop never reaches its
+	// target.
+	opt.Encoder = embed.NewHashEncoder(embed.WithDim(64))
+	opt.HNSW = hnsw.Config{M: 6, EfConstruction: 24, EfSearch: 24, Metric: vector.CosineUnit, Seed: 1}
+
+	m, err := RecoverMatcher(WALConfig{Dir: t.TempDir(), Fsync: "off"}, opt, func() (*Matcher, error) {
+		// Prepopulate as part of the base state (large batches keep it
+		// fast); the WAL then journals only the hammer's own batches. The
+		// serialized base is cached at package level so -cpu reruns of the
+		// hammer in one test binary pay the prepopulation once and reload.
+		largeHammerBase.Lock()
+		defer largeHammerBase.Unlock()
+		if largeHammerBase.raw != nil {
+			return LoadMatcher(bytes.NewReader(largeHammerBase.raw), opt)
+		}
+		base, err := BuildMatcher(d, opt)
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; base.Stats().Tuples < liveTarget; b++ {
+			if _, err := base.AddRecords(epochRows(b, prepopBatch)); err != nil {
+				return nil, err
+			}
+		}
+		var buf bytes.Buffer
+		if err := base.Save(&buf); err != nil {
+			return nil, err
+		}
+		largeHammerBase.raw = buf.Bytes()
+		return base, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.CloseWAL()
+
+	base := m.Stats()
+	if base.Tuples < liveTarget {
+		t.Fatalf("prepopulation stopped at %d tuples, want >= %d", base.Tuples, liveTarget)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Snapshotter: checkpoint the ~100k-tuple state continuously. Each
+	// checkpoint serializes from a pinned view off the ingest lock, so the
+	// batches below must keep committing at O(batch) cost underneath it.
+	var snaps atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.Snapshot(); err != nil {
+				t.Errorf("Snapshot: %v", err)
+				return
+			}
+			snaps.Add(1)
+		}
+	}()
+
+	// Readers: whole-batch entity parity via Stats, and full cursor walks
+	// pinned to one epoch each — the walk's tuple count must equal the
+	// pinned epoch's exactly, no matter how many batches commit meanwhile.
+	probe := epochRows(0, 1)[0]
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					if de := m.Stats().Entities - base.Entities; de%batchRows != 0 {
+						t.Errorf("reader %d: partial batch visible: %d extra entities", r, de)
+						return
+					}
+				case 1:
+					c := m.TupleCursor(1)
+					walked := 0
+					for c.Next() {
+						walked++
+					}
+					s, _, epoch := m.StatsWithShards()
+					if epoch == c.Epoch() && walked != s.Tuples {
+						t.Errorf("reader %d: cursor at epoch %d walked %d tuples, Stats reports %d", r, epoch, walked, s.Tuples)
+						return
+					}
+				default:
+					if _, err := m.Match(probe, 2); err != nil {
+						t.Errorf("reader %d: Match: %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	const batches = 15
+	for b := 0; b < batches; b++ {
+		if _, err := m.AddRecords(epochRows(2_000_000+b, batchRows)); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	// Let at least one checkpoint cover the fully-ingested state. Generous:
+	// serializing a >100k-tuple state under -race on a loaded single-core
+	// box can take tens of seconds per checkpoint.
+	deadline := time.Now().Add(2 * time.Minute)
+	for snaps.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if snaps.Load() == 0 {
+		t.Fatal("no checkpoint completed; the hammer is vacuous")
+	}
+	if got, want := m.Stats().Entities, base.Entities+batches*batchRows; got != want {
+		t.Fatalf("entities %d after ingest under snapshots, want %d", got, want)
 	}
 }
 

@@ -251,10 +251,12 @@ func resolveShards(opt *Options) int {
 
 // newShards allocates n empty shards for the matcher's dimensionality.
 func (m *Matcher) newShards(n int) {
+	shift := m.opt.tupleChunkShift()
 	m.shards = make([]*shard, n)
 	for s := range m.shards {
 		m.shards[s] = &shard{
 			entVecs:   vector.NewStore(m.dim),
+			tuples:    newTupleTable(shift),
 			centroids: vector.NewStore(m.dim),
 		}
 	}
@@ -309,7 +311,7 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 			sh.entIDs = append(sh.entIDs, st.ents[p].ID)
 		}
 		row := sh.centroids.Append(centroid)
-		sh.tuples = append(sh.tuples, tupleState{
+		sh.tuples.append(tupleState{
 			members:     local,
 			maxJoinDist: maxJoinDist,
 			minEntID:    minMemberID(local, sh.entIDs),
@@ -343,7 +345,7 @@ func BuildMatcher(d *table.Dataset, opt Options) (*Matcher, error) {
 func (m *Matcher) buildShardIndex(s int) error {
 	sh := m.shards[s]
 	sh.index = hnsw.New(m.dim, m.shardHNSWConfig(s))
-	for local := range sh.tuples {
+	for local := 0; local < sh.tuples.len(); local++ {
 		if err := sh.index.Add(local, sh.centroids.At(local)); err != nil {
 			return fmt.Errorf("multiem: matcher index (shard %d): %w", s, err)
 		}
@@ -454,8 +456,9 @@ func searchShard(v *shardView, s, fetch, ef int, q []float32, qb vector.QueryBat
 			continue
 		}
 		seen[r.ID] = true
-		rows = append(rows, v.tuples[r.ID].centroidRow)
-		hits.keys = append(hits.keys, v.tuples[r.ID].minEntID)
+		ts := v.tuples.at(r.ID)
+		rows = append(rows, ts.centroidRow)
+		hits.keys = append(hits.keys, ts.minEntID)
 		hits.ids = append(hits.ids, globalTupleID(s, r.ID))
 	}
 	// Distances against the current centroids, not the possibly stale
@@ -532,7 +535,7 @@ func (m *Matcher) Match(values []string, k int) ([]Candidate, error) {
 	for i, r := range merged {
 		gid := byKey[r.ID]
 		s, local := splitTupleID(gid)
-		ts := v.shards[s].tuples[local]
+		ts := v.shards[s].tuples.at(local)
 		out[i] = Candidate{
 			Tuple:      gid,
 			Distance:   r.Dist,
@@ -698,7 +701,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 				}
 				crows = crows[:0]
 				for _, r := range raw {
-					crows = append(crows, sh.tuples[r.ID].centroidRow)
+					crows = append(crows, sh.tuples.at(r.ID).centroidRow)
 				}
 				if cap(dists) < len(raw) {
 					dists = make([]float32, len(raw))
@@ -806,19 +809,16 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 		}
 		sh := m.shards[s]
 
-		// Copy-on-write: published views hold the current tuples slice, so
-		// this batch mutates a fresh copy. Member slices are shared with the
-		// old copy — appends to them only write past every published length,
-		// which no pinned reader can see. Centroid refreshes likewise append
-		// new arena rows instead of overwriting published ones. The replay
-		// path skips the copy along with the views: nothing can be pinned
-		// before RecoverMatcher publishes, so mutating in place is safe.
-		if mode != batchRecover {
-			work := make([]tupleState, len(sh.tuples), len(sh.tuples)+len(rowIdx))
-			copy(work, sh.tuples)
-			sh.tuples = work
-		}
-
+		// Copy-on-write happens at chunk granularity inside the tuple table:
+		// published views share its chunks, and mut copies a shared chunk
+		// before the batch's first write into it, so this batch pays for the
+		// chunks it dirties instead of the whole table. Member slices are
+		// shared across copies — appends to them only write past every
+		// published length, which no pinned reader can see. Centroid
+		// refreshes likewise append new arena rows instead of overwriting
+		// published ones. Recovery replay gets in-place mutation for free:
+		// no view is built between replayed batches, so every chunk stays
+		// writer-owned and mut never copies.
 		var touched []int           // pre-existing tuples whose centroid moved
 		var created []int           // tuples created by this batch, in creation order
 		batchLocal := map[int]int{} // batch tuple index -> local tuple index
@@ -827,7 +827,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 			pos := sh.entVecs.Append(d.vec)
 			sh.entIDs = append(sh.entIDs, baseID+i)
 			if d.absorb {
-				ts := &sh.tuples[d.local]
+				ts := sh.tuples.mut(d.local)
 				ts.members = append(ts.members, pos)
 				if d.dist > ts.maxJoinDist {
 					ts.maxJoinDist = d.dist
@@ -843,24 +843,24 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 				// First row of a batch-formed tuple: create it. Later rows
 				// of the same tuple count as absorbed at their join
 				// distance, exactly as one-at-a-time ingestion would report.
-				local = len(sh.tuples)
-				batchLocal[d.batch] = local
-				created = append(created, local)
+				batchLocal[d.batch] = sh.tuples.len()
+				created = append(created, sh.tuples.len())
 				// The first row has the tuple's smallest entity ID: rows
 				// chain in ascending order and batch IDs are dense.
 				row := sh.centroids.Append(d.vec)
-				sh.tuples = append(sh.tuples, tupleState{members: []int{pos}, maxJoinDist: newTuples[d.batch].maxJoin, minEntID: baseID + i, centroidRow: int32(row)})
+				local = sh.tuples.append(tupleState{members: []int{pos}, maxJoinDist: newTuples[d.batch].maxJoin, minEntID: baseID + i, centroidRow: int32(row)})
 				out[i] = AddResult{EntityID: baseID + i, Tuple: globalTupleID(s, local), Absorbed: false}
 				continue
 			}
-			sh.tuples[local].members = append(sh.tuples[local].members, pos)
+			ts := sh.tuples.mut(local)
+			ts.members = append(ts.members, pos)
 			out[i] = AddResult{EntityID: baseID + i, Tuple: globalTupleID(s, local), Absorbed: true, Distance: d.dist}
 		}
 		// Index each batch-created tuple once, with its settled centroid;
 		// its arena row was appended by this batch, so no published view can
 		// read it yet and settling in place is safe.
 		for _, local := range created {
-			if members := sh.tuples[local].members; len(members) > 1 {
+			if members := sh.tuples.at(local).members; len(members) > 1 {
 				centroidInto(sh.centroidAt(local), members, sh.entVecs)
 			}
 			sh.index.Add(local, sh.centroidAt(local))
@@ -878,8 +878,8 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 			}
 			last = local
 			row := sh.centroids.AppendZero()
-			centroidInto(sh.centroids.At(row), sh.tuples[local].members, sh.entVecs)
-			sh.tuples[local].centroidRow = int32(row)
+			centroidInto(sh.centroids.At(row), sh.tuples.at(local).members, sh.entVecs)
+			sh.tuples.mut(local).centroidRow = int32(row)
 			sh.index.Add(local, sh.centroids.At(row))
 		}
 		compactErrs[s] = sh.maybeCompact(m.shardHNSWConfig(s), m.dim)
@@ -912,7 +912,7 @@ func (m *Matcher) addBatchLocked(rows [][]string, mode batchMode) ([]AddResult, 
 // reads writer-side state; the caller holds addMu. Readers get the same
 // value from their pinned view's tuples.
 func (m *Matcher) tupleMinEntityID(s, local int) int {
-	return m.shards[s].tuples[local].minEntID
+	return m.shards[s].tuples.at(local).minEntID
 }
 
 // minMemberID scans members for the smallest entity ID; used to seed a
@@ -993,15 +993,9 @@ func (m *Matcher) StatsWithShards() (MatcherStats, []ShardStats, uint64) {
 func (m *Matcher) Tuples() ([][]int, []float64) {
 	var tuples [][]int
 	var confs []float64
-	v := m.state.Load()
-	for _, sv := range v.shards {
-		for _, ts := range sv.tuples {
-			if len(ts.members) < 2 {
-				continue
-			}
-			tuples = append(tuples, sv.memberIDs(ts.members))
-			confs = append(confs, confidenceFrom(ts.maxJoinDist))
-		}
+	for c := m.TupleCursor(2); c.Next(); {
+		tuples = append(tuples, c.Members())
+		confs = append(confs, c.Confidence())
 	}
 	return tuples, confs
 }
@@ -1123,15 +1117,15 @@ func (v *shardView) writeSection(w *bytes.Buffer) error {
 		binio.WriteI64(bw, int64(id))
 	}
 	binio.WriteF32s(bw, v.entVecs.Raw())
-	binio.WriteI32(bw, int32(len(v.tuples)))
-	for _, ts := range v.tuples {
+	binio.WriteI32(bw, int32(v.tuples.len()))
+	v.tuples.each(func(_ int, ts *tupleState) {
 		binio.WriteI32(bw, int32(len(ts.members)))
 		for _, p := range ts.members {
 			binio.WriteI32(bw, int32(p))
 		}
 		binio.WriteF32(bw, ts.maxJoinDist)
-	}
-	for local := range v.tuples {
+	})
+	for local := 0; local < v.tuples.len(); local++ {
 		binio.WriteF32s(bw, v.centroidAt(local))
 	}
 	binio.WriteI64(bw, v.compactions)
@@ -1313,7 +1307,6 @@ func (sh *shard) readSection(sec []byte, dim int) (maxEntID int, err error) {
 	if rd.Err() == nil && (nTuples < 0 || nTuples > maxSaneCount) {
 		return -1, fmt.Errorf("corrupt tuple count %d", nTuples)
 	}
-	sh.tuples = make([]tupleState, nTuples)
 	for i := 0; i < nTuples; i++ {
 		nMembers := rd.I32()
 		if rd.Err() == nil && (nMembers < 0 || nMembers > nEnts) {
@@ -1327,12 +1320,12 @@ func (sh *shard) readSection(sec []byte, dim int) (maxEntID int, err error) {
 			}
 			members[j] = p
 		}
-		sh.tuples[i] = tupleState{
+		sh.tuples.append(tupleState{
 			members:     members,
 			maxJoinDist: rd.F32(),
 			minEntID:    minMemberID(members, sh.entIDs),
 			centroidRow: int32(i), // the on-disk arena is dense in local order
-		}
+		})
 	}
 	if rd.Err() != nil {
 		return -1, rd.Err()

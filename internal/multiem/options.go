@@ -95,6 +95,14 @@ type Options struct {
 	// with it. <= 0 uses GOMAXPROCS. Ignored by LoadMatcher, which restores
 	// the shard count the file was saved with.
 	Shards int
+
+	// tupleChunkOverride, when nonzero, sets the Matcher's tuple-table chunk
+	// size to 1<<(tupleChunkOverride-1) rows instead of the production
+	// default. Chunking is pure memory layout — serving results and Save
+	// bytes are identical for every value — which the in-package layout-
+	// independence property tests pin by sweeping it from one-row chunks to
+	// a whole-table chunk.
+	tupleChunkOverride int
 }
 
 // DefaultOptions mirrors §IV-A: k=1, MinPts=2, r=0.2, cosine merging,

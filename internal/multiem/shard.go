@@ -48,18 +48,21 @@ func splitTupleID(id int) (shard, local int) {
 // writer keeps going: entIDs, entVecs, and centroids are append-only (a
 // recomputed centroid is appended as a new version row, never written over a
 // row a view may be reading — tupleState.centroidRow says which row is
-// current), the tuples slice is copied before a batch mutates it, and the
-// live index is mutable only on the writer side (views get a frozen Clone).
+// current), the chunked tuple table copies a view-shared chunk before a
+// batch mutates into it, and the live index is mutable only on the writer
+// side (views get a frozen Clone sharing its link chunks the same way).
 type shard struct {
 	// entIDs maps local entity row -> global entity ID. Append-only.
 	entIDs []int
 	// entVecs holds the embeddings of every entity owned by this shard; a
 	// tuple's members index into it. Append-only.
 	entVecs *vector.Store
-	// tuples is the writer's working copy of the tuple table. Batches that
-	// touch the shard replace it with a fresh copy before mutating, so the
-	// slice inside any published view is never written again.
-	tuples []tupleState
+	// tuples is the writer's working copy of the chunked tuple table
+	// (tupletable.go). A batch mutates rows copy-on-write at chunk
+	// granularity: a chunk any published view shares is copied before its
+	// first mutation, so the rows inside any published view are never
+	// written again, and clean chunks are shared across epochs.
+	tuples *tupleTable
 	// centroids is the centroid version arena: row tupleState.centroidRow is
 	// tuple l's current centroid, superseded rows are garbage until the next
 	// compaction rebuilds the arena dense. Append-only between compactions.
@@ -81,20 +84,22 @@ type shard struct {
 type shardView struct {
 	entIDs      []int
 	entVecs     *vector.Store
-	tuples      []tupleState
+	tuples      tupleView
 	centroids   *vector.Store
 	index       *hnsw.Index
 	compactions int64
 }
 
 // view freezes the shard's current writer state into an immutable shardView.
-// The caller holds addMu and must not mutate the tuples slice afterwards
-// (applyBatch replaces it with a fresh copy before the next mutation).
+// The caller holds addMu. The tuple table and the index's link arena are
+// snapshotted at chunk granularity (O(chunks) spine copies that mark every
+// chunk shared), so building a view costs O(state/chunkSize), not O(state) —
+// the writer's next batch copies only the chunks it actually dirties.
 func (sh *shard) view() *shardView {
 	return &shardView{
 		entIDs:      sh.entIDs[:len(sh.entIDs):len(sh.entIDs)],
 		entVecs:     sh.entVecs.Frozen(),
-		tuples:      sh.tuples[:len(sh.tuples):len(sh.tuples)],
+		tuples:      sh.tuples.snapshot(),
 		centroids:   sh.centroids.Frozen(),
 		index:       sh.index.Clone(),
 		compactions: sh.compactions,
@@ -104,12 +109,12 @@ func (sh *shard) view() *shardView {
 // centroidAt resolves tuple local's current centroid row in the writer
 // arena. The caller holds addMu.
 func (sh *shard) centroidAt(local int) []float32 {
-	return sh.centroids.At(int(sh.tuples[local].centroidRow))
+	return sh.centroids.At(int(sh.tuples.at(local).centroidRow))
 }
 
 // centroidAt resolves tuple local's centroid as of this view's epoch.
 func (v *shardView) centroidAt(local int) []float32 {
-	return v.centroids.At(int(v.tuples[local].centroidRow))
+	return v.centroids.At(int(v.tuples.at(local).centroidRow))
 }
 
 // ShardStats describes one shard's share of the matcher state.
@@ -140,18 +145,18 @@ func (v *shardView) stats(id int) ShardStats {
 	s := ShardStats{
 		Shard:       id,
 		Entities:    len(v.entIDs),
-		Tuples:      len(v.tuples),
+		Tuples:      v.tuples.len(),
 		IndexSize:   v.index.Len(),
-		Live:        len(v.tuples),
+		Live:        v.tuples.len(),
 		Compactions: v.compactions,
 	}
-	for _, ts := range v.tuples {
+	v.tuples.each(func(_ int, ts *tupleState) {
 		if len(ts.members) >= 2 {
 			s.Matched++
 		} else {
 			s.Singletons++
 		}
-	}
+	})
 	return s
 }
 
@@ -184,7 +189,7 @@ const compactThreshold = 2
 // save/load in between), so an original matcher and its save/load twin
 // compact at the same point and rebuild identical graphs.
 func (sh *shard) maybeCompact(cfg hnsw.Config, dim int) error {
-	live := len(sh.tuples)
+	live := sh.tuples.len()
 	if live == 0 || sh.index.Len()-live <= compactThreshold*live {
 		return nil
 	}
@@ -199,8 +204,11 @@ func (sh *shard) maybeCompact(cfg hnsw.Config, dim int) error {
 			return fmt.Errorf("multiem: shard compaction: %w", err)
 		}
 	}
-	for l := range sh.tuples {
-		sh.tuples[l].centroidRow = int32(l)
+	// Re-densifying rewrites every row's centroidRow, which dirties (and so
+	// copies) every shared tuple chunk — fine: compaction is already an
+	// O(live) rebuild, and it runs rarely by construction.
+	for l := 0; l < live; l++ {
+		sh.tuples.mut(l).centroidRow = int32(l)
 	}
 	sh.centroids = dense
 	sh.index = ix

@@ -102,6 +102,14 @@ func (s *Store) Raw() []float32 { return s.data }
 // frozen snapshot can read. This is what lets a published matcher view hand
 // out arena rows without a lock while ingest keeps appending. The caller must
 // not mutate the snapshot.
+//
+// Frozen is O(1) and snapshots share the arena across epochs: N published
+// views of an N-times-appended store cost one backing array, not N copies.
+// The matcher's chunked tuple table and the HNSW link arena follow the same
+// discipline — published state is immutable, the writer appends past every
+// published length and copy-on-writes anything it must overwrite — so an
+// epoch view is a set of shared chunk pointers plus frozen arenas, never a
+// deep copy.
 func (s *Store) Frozen() *Store {
 	return &Store{dim: s.dim, data: s.data[:len(s.data):len(s.data)]}
 }

@@ -68,6 +68,10 @@ type (
 	MatcherStats = multiem.MatcherStats
 	// ShardStats describes one shard's share of the matcher state.
 	ShardStats = multiem.ShardStats
+	// TupleCursor streams tuples out of one pinned epoch view without
+	// materializing the full copy Tuples returns; create one with
+	// Matcher.TupleCursor.
+	TupleCursor = multiem.TupleCursor
 	// ArityError reports a record whose width does not match the schema,
 	// with the offending batch row index; HTTP layers map it to a client
 	// error.

@@ -117,6 +117,7 @@ assert_positive multiem_ingest_rows_total
 assert_positive multiem_match_duration_seconds_count
 assert_positive multiem_match_duration_seconds_stage_count 'stage="fanout"'
 assert_positive multiem_ingest_duration_seconds_stage_count 'stage="publish"'
+assert_positive multiem_view_build_duration_seconds_count
 assert_positive multiem_hnsw_searches_total
 assert_positive multiem_hnsw_nodes_visited_total
 assert_positive multiem_hnsw_distance_evals_total
@@ -127,8 +128,13 @@ assert_positive multiem_wal_bytes
 log "checking the debug listener (pprof + /metrics copy)"
 curl -fsS "http://$DEBUG_ADDR/debug/pprof/" >/dev/null \
   || { log "FAIL: pprof index not served on -debug-addr"; exit 1; }
-curl -fsS "http://$DEBUG_ADDR/metrics" | grep -q '^multiem_uptime_seconds ' \
+# Buffer before grepping: `curl | grep -q` makes grep close the pipe at the
+# first match, and once the exposition outgrows the pipe buffer curl dies
+# with a write error that pipefail turns into a spurious failure.
+curl -fsS "http://$DEBUG_ADDR/metrics" >"$WORK/debug_metrics.txt" \
   || { log "FAIL: /metrics not served on -debug-addr"; exit 1; }
+grep -q '^multiem_uptime_seconds ' "$WORK/debug_metrics.txt" \
+  || { log "FAIL: debug /metrics is missing multiem_uptime_seconds"; exit 1; }
 
 # The JSON log stream must carry the startup record with the resolved
 # kernels path and role.
